@@ -1,0 +1,169 @@
+// Command dasc clusters a CSV dataset (label,v0,v1,... — the datagen
+// format; labels are used only for scoring) with DASC or one of the
+// paper's baselines, and prints accuracy, quality metrics, memory and
+// time.
+//
+// Usage:
+//
+//	datagen -kind corpus -n 2048 | dasc -algo dasc -k 34
+//	dasc -algo sc -in mix.csv
+//	dasc -algo dasc -mapreduce tcp -workers 4 -in mix.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "dasc", "algorithm: dasc | sc | psc | nyst | km")
+		in      = flag.String("in", "-", "input CSV path ('-' = stdin)")
+		k       = flag.Int("k", 0, "clusters (0 = paper's category law)")
+		m       = flag.Int("m", 0, "DASC signature bits (0 = paper default)")
+		tune    = flag.Float64("tune", 0, "auto-tune M to keep this Fnorm ratio (overrides -m; e.g. 0.5)")
+		sigma   = flag.Float64("sigma", 0, "kernel bandwidth (0 = median heuristic)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		mr      = flag.String("mapreduce", "", "DASC driver: '' (in-process) | local | tcp | tcp-shipped")
+		workers = flag.Int("workers", 2, "TCP MapReduce workers (tcp: goroutines; tcp-shipped: external dascworker processes to wait for)")
+		listen  = flag.String("listen", "127.0.0.1:0", "master listen address for tcp-shipped")
+	)
+	flag.Parse()
+
+	input := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	l, err := dataset.ReadCSV(input)
+	if err != nil {
+		fatal(err)
+	}
+	n := l.Points.Rows()
+	kk := *k
+	if kk == 0 {
+		kk = analytic.CategoryLaw(n)
+	}
+	fmt.Printf("dataset: %d points x %d dims, target clusters %d\n", n, l.Points.Cols(), kk)
+
+	var (
+		labels    []int
+		gramBytes int64
+		elapsed   time.Duration
+	)
+	switch *algo {
+	case "dasc":
+		if *tune > 0 {
+			tuned, _, err := core.TuneM(l.Points, core.Config{Sigma: *sigma, Seed: *seed}, *tune, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tuned: M=%d keeps Fnorm ratio >= %.2f\n", tuned, *tune)
+			*m = tuned
+		}
+		cfg := core.Config{K: kk, M: *m, Sigma: *sigma, Seed: *seed}
+		var res *core.Result
+		switch *mr {
+		case "":
+			res, err = core.Cluster(l.Points, cfg)
+		case "local":
+			res, err = core.ClusterMapReduce(l.Points, cfg, &mapreduce.Local{}, "cli")
+		case "tcp":
+			res, err = runOverTCP(l, cfg, *workers)
+		case "tcp-shipped":
+			res, err = runShipped(l, cfg, *listen, *workers)
+		default:
+			fatal(fmt.Errorf("unknown -mapreduce %q", *mr))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		labels, gramBytes, elapsed = res.Labels, res.GramBytes, res.Elapsed
+		fmt.Printf("dasc: M=%d bits, %d buckets, %d clusters\n",
+			res.SignatureBits, len(res.Buckets), res.Clusters)
+	case "sc", "psc", "nyst", "km":
+		cfg := baseline.Config{K: kk, Sigma: *sigma, Seed: *seed}
+		var res *baseline.Result
+		switch *algo {
+		case "sc":
+			res, err = baseline.SC(l.Points, cfg)
+		case "psc":
+			res, err = baseline.PSC(l.Points, cfg)
+		case "nyst":
+			res, err = baseline.NYST(l.Points, cfg)
+		case "km":
+			res, err = baseline.KM(l.Points, cfg)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		labels, gramBytes, elapsed = res.Labels, res.GramBytes, res.Elapsed
+	default:
+		fatal(fmt.Errorf("unknown -algo %q", *algo))
+	}
+
+	acc, err := metrics.Accuracy(l.Labels, labels)
+	if err != nil {
+		fatal(err)
+	}
+	dbi, err := metrics.DaviesBouldin(l.Points, labels)
+	if err != nil {
+		fatal(err)
+	}
+	ase, err := metrics.AverageSquaredError(l.Points, labels)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("accuracy: %.4f\nDBI:      %.4f\nASE:      %.5f\n", acc, dbi, ase)
+	fmt.Printf("gram:     %.1f KB\ntime:     %s\n", float64(gramBytes)/1024, elapsed.Round(time.Millisecond))
+}
+
+// runOverTCP spins up an in-process TCP MapReduce cluster — master plus
+// goroutine-hosted workers over real sockets — and runs DASC on it.
+func runOverTCP(l *dataset.Labeled, cfg core.Config, workers int) (*core.Result, error) {
+	master, err := mapreduce.NewMaster("127.0.0.1:0", workers)
+	if err != nil {
+		return nil, err
+	}
+	defer master.Close()
+	for i := 0; i < workers; i++ {
+		go func() {
+			if err := mapreduce.RunWorker(master.Addr()); err != nil {
+				fmt.Fprintln(os.Stderr, "worker:", err)
+			}
+		}()
+	}
+	return core.ClusterMapReduce(l.Points, cfg, master, "cli-tcp")
+}
+
+// runShipped starts a master and waits for external dascworker
+// processes before running the closure-free DASC jobs, so the workers
+// can live on other machines (or at least other processes).
+func runShipped(l *dataset.Labeled, cfg core.Config, listen string, workers int) (*core.Result, error) {
+	master, err := mapreduce.NewMaster(listen, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer master.Close()
+	fmt.Printf("master listening on %s; start %d x `dascworker -master %s`\n",
+		master.Addr(), workers, master.Addr())
+	return core.ClusterMapReduceShipped(l.Points, cfg, master)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dasc:", err)
+	os.Exit(1)
+}

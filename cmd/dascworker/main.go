@@ -1,0 +1,33 @@
+// Command dascworker is a standalone MapReduce worker process: it dials
+// the master, serves tasks until the master shuts down, and exits. The
+// closure-free DASC jobs (ClusterMapReduceShipped) are available to it
+// through the factories registered by the core package, so a real
+// multi-process deployment is:
+//
+//	terminal 1:  dasc -algo dasc -mapreduce tcp-shipped -in data.csv
+//	terminal 2+: dascworker -master 127.0.0.1:<port>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mapreduce"
+
+	// Register the shipped DASC job factories in this process.
+	_ "repro/internal/core"
+)
+
+func main() {
+	master := flag.String("master", "", "master address host:port (required)")
+	flag.Parse()
+	if *master == "" {
+		fmt.Fprintln(os.Stderr, "dascworker: -master is required")
+		os.Exit(2)
+	}
+	if err := mapreduce.RunWorker(*master); err != nil {
+		fmt.Fprintln(os.Stderr, "dascworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command datagen emits the datasets of the paper's §5.2 as CSV on
+// stdout (label,v0,v1,...): synthetic Gaussian mixtures in [0,1]^d, or
+// the Wikipedia-stand-in corpus pushed through the full text pipeline
+// (clean, stem, tf-idf, top-F terms).
+//
+// Usage:
+//
+//	datagen -kind synthetic -n 4096 -d 64 -k 16 > mix.csv
+//	datagen -kind corpus -n 2048 -f 11 > wiki.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "synthetic", "dataset kind: synthetic | corpus")
+		n     = flag.Int("n", 1024, "number of points / documents")
+		d     = flag.Int("d", 64, "dimensions (synthetic)")
+		k     = flag.Int("k", 0, "clusters / categories (0 = paper defaults)")
+		noise = flag.Float64("noise", 0.05, "per-dimension noise (synthetic)")
+		fTop  = flag.Int("f", 11, "top-F terms per document (corpus)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var labeled *dataset.Labeled
+	switch *kind {
+	case "synthetic":
+		kk := *k
+		if kk == 0 {
+			kk = 4
+		}
+		l, err := dataset.Mixture(dataset.MixtureConfig{
+			N: *n, D: *d, K: kk, Noise: *noise, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		labeled = l
+	case "corpus":
+		c, err := corpus.Generate(corpus.Config{
+			NumDocs: *n, NumCategories: *k, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		l, err := c.Vectorize(*fTop)
+		if err != nil {
+			fatal(err)
+		}
+		labeled = l
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+	if err := labeled.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

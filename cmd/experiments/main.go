@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # everything, full scale
+//	experiments -quick          # everything, reduced sizes
+//	experiments -only fig3      # one artifact: fig1,fig2,...,table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced dataset sizes (seconds, not minutes)")
+		only  = flag.String("only", "", "comma-separated subset: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 ablations locality")
+	)
+	flag.Parse()
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type artifact struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	artifacts := []artifact{
+		{"fig1", func() (*experiments.Table, error) { return experiments.Figure1(), nil }},
+		{"table1", func() (*experiments.Table, error) { return experiments.Table1(), nil }},
+		{"fig2", func() (*experiments.Table, error) { return experiments.Figure2(), nil }},
+		{"fig2measured", func() (*experiments.Table, error) { return experiments.Figure2Measured(scale) }},
+		{"table2", func() (*experiments.Table, error) { return experiments.Table2(), nil }},
+		{"fig3", func() (*experiments.Table, error) { return experiments.Figure3(scale) }},
+		{"fig4", func() (*experiments.Table, error) { return experiments.Figure4(scale) }},
+		{"fig5", func() (*experiments.Table, error) { return experiments.Figure5(scale) }},
+		{"fig6", func() (*experiments.Table, error) { return experiments.Figure6(scale) }},
+		{"table3", func() (*experiments.Table, error) { return experiments.Table3(scale) }},
+		{"ablations", func() (*experiments.Table, error) { return experiments.Ablations(scale) }},
+		{"locality", func() (*experiments.Table, error) { return experiments.Locality(scale) }},
+	}
+	for _, a := range artifacts {
+		if !sel(a.id) {
+			continue
+		}
+		tab, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a.id, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,222 @@
+// Package dasc is the public API of the DASC library — Distributed
+// Approximate Spectral Clustering (Gao, Abd-Almageed, Hefeeda, HPDC'12)
+// reimplemented in pure Go.
+//
+// The package re-exports the stable surface of the internal subsystem
+// packages: the DASC clusterer and its drivers, the three baselines the
+// paper compares against, dataset generators, the evaluation metrics,
+// and the MapReduce/EMR runtimes. See README.md for a tour and
+// DESIGN.md for the architecture.
+//
+// Minimal use:
+//
+//	data, _ := dasc.Mixture(dasc.MixtureConfig{N: 2000, D: 16, K: 5})
+//	res, _ := dasc.Cluster(data.Points, dasc.Config{K: 5})
+//	acc, _ := dasc.Accuracy(data.Labels, res.Labels)
+package dasc
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/emr"
+	"repro/internal/kernel"
+	"repro/internal/lsh"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/spectral"
+)
+
+// ---- core types ----
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix = matrix.Dense
+
+// NewMatrix allocates a rows x cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.NewDense(rows, cols) }
+
+// FromRows builds a matrix by copying the given rows.
+func FromRows(rows [][]float64) (*Matrix, error) { return matrix.FromRows(rows) }
+
+// Config controls a DASC run; zero values select the paper's defaults
+// (K from the category law, M = ceil(log2 N / 2) - 1, P = M-1 merging,
+// median-heuristic kernel bandwidth).
+type Config = core.Config
+
+// Result reports a DASC run: labels, bucket structure, Gram memory.
+type Result = core.Result
+
+// IncrementalResult extends Result with bounded-memory accounting.
+type IncrementalResult = core.IncrementalResult
+
+// Cluster runs DASC in-process with a parallel bucket pool.
+func Cluster(points *Matrix, cfg Config) (*Result, error) {
+	return core.Cluster(points, cfg)
+}
+
+// ClusterMapReduce runs DASC as the paper's two MapReduce stages on any
+// executor (LocalExecutor, or a TCP Master with connected workers).
+func ClusterMapReduce(points *Matrix, cfg Config, exec Executor, jobPrefix string) (*Result, error) {
+	return core.ClusterMapReduce(points, cfg, exec, jobPrefix)
+}
+
+// ClusterIncremental runs DASC with the resident Gram storage bounded
+// by budgetBytes, processing buckets in waves.
+func ClusterIncremental(points *Matrix, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
+	return core.ClusterIncremental(points, cfg, budgetBytes)
+}
+
+// TuneM sweeps the signature width and returns the largest M whose
+// approximated Gram matrix keeps at least minFnormRatio of the full
+// matrix's Frobenius norm (the paper's §5.5 accuracy/parallelism knob,
+// measured as in its Figure 5).
+func TuneM(points *Matrix, cfg Config, minFnormRatio float64) (int, error) {
+	m, _, err := core.TuneM(points, cfg, minFnormRatio, 0)
+	return m, err
+}
+
+// ---- baselines (§5.4) ----
+
+// BaselineConfig is shared by the SC, PSC and NYST baselines.
+type BaselineConfig = baseline.Config
+
+// BaselineResult reports a baseline run.
+type BaselineResult = baseline.Result
+
+// SC is plain spectral clustering on the full Gram matrix.
+func SC(points *Matrix, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.SC(points, cfg)
+}
+
+// PSC is parallel spectral clustering on a t-nearest-neighbour sparse
+// similarity graph (Chen et al.).
+func PSC(points *Matrix, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.PSC(points, cfg)
+}
+
+// NYST is spectral clustering with the Nystrom extension (Shi et al.).
+func NYST(points *Matrix, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.NYST(points, cfg)
+}
+
+// KM is plain K-means on the raw vectors — the Gram-free baseline.
+func KM(points *Matrix, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.KM(points, cfg)
+}
+
+// SpectralCluster runs plain Ng–Jordan–Weiss spectral clustering on a
+// precomputed similarity matrix.
+func SpectralCluster(similarity *Matrix, k int, seed int64) ([]int, error) {
+	res, err := spectral.Cluster(similarity, spectral.Config{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// ---- kernels ----
+
+// Kernel is a positive-semidefinite similarity function.
+type Kernel = kernel.Func
+
+// Gaussian returns the RBF kernel of Eq. 1.
+func Gaussian(sigma float64) Kernel { return kernel.Gaussian(sigma) }
+
+// Gram computes the full zero-diagonal similarity matrix.
+func Gram(points *Matrix, k Kernel) *Matrix { return kernel.Gram(points, k) }
+
+// ---- LSH ----
+
+// LSHFamily is a locality-sensitive hashing scheme; see the lsh
+// subpackage for SimHash, MinHash, p-stable and spectral hashing.
+type LSHFamily = lsh.Family
+
+// FitLSH builds the paper's span/threshold hasher for the dataset.
+func FitLSH(points *Matrix, m int, seed int64) (LSHFamily, error) {
+	return lsh.Fit(points, lsh.Config{M: m, Seed: seed})
+}
+
+// ---- datasets ----
+
+// Labeled couples points with ground-truth labels.
+type Labeled = dataset.Labeled
+
+// MixtureConfig controls the synthetic Gaussian-mixture generator.
+type MixtureConfig = dataset.MixtureConfig
+
+// Mixture draws a synthetic mixture in [0,1]^D (§5.2).
+func Mixture(cfg MixtureConfig) (*Labeled, error) { return dataset.Mixture(cfg) }
+
+// CorpusConfig controls the Wikipedia-stand-in document generator.
+type CorpusConfig = corpus.Config
+
+// Corpus is a generated document collection with category labels.
+type Corpus = corpus.Corpus
+
+// GenerateCorpus builds a category-structured HTML document corpus.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) { return corpus.Generate(cfg) }
+
+// ---- metrics (§5.3) ----
+
+// Accuracy is the fraction of correctly clustered points under the best
+// cluster-to-class assignment.
+func Accuracy(truth, pred []int) (float64, error) { return metrics.Accuracy(truth, pred) }
+
+// DaviesBouldin computes the DBI of Eq. 20 (lower is better).
+func DaviesBouldin(points *Matrix, labels []int) (float64, error) {
+	return metrics.DaviesBouldin(points, labels)
+}
+
+// AverageSquaredError computes the ASE of Eq. 21 (lower is better).
+func AverageSquaredError(points *Matrix, labels []int) (float64, error) {
+	return metrics.AverageSquaredError(points, labels)
+}
+
+// NMI is normalized mutual information between two labelings.
+func NMI(truth, pred []int) (float64, error) { return metrics.NMI(truth, pred) }
+
+// Purity is the majority-class fraction per cluster.
+func Purity(truth, pred []int) (float64, error) { return metrics.Purity(truth, pred) }
+
+// AdjustedRand is the chance-corrected Rand index.
+func AdjustedRand(truth, pred []int) (float64, error) { return metrics.AdjustedRand(truth, pred) }
+
+// Silhouette is the mean silhouette coefficient of a labeling.
+func Silhouette(points *Matrix, labels []int) (float64, error) {
+	return metrics.Silhouette(points, labels)
+}
+
+// ---- distributed runtimes ----
+
+// Executor runs MapReduce jobs.
+type Executor = mapreduce.Executor
+
+// LocalExecutor is the in-process bounded worker pool.
+type LocalExecutor = mapreduce.Local
+
+// Master coordinates TCP MapReduce workers.
+type Master = mapreduce.Master
+
+// NewMaster starts a TCP MapReduce master on addr that waits for
+// minWorkers workers.
+func NewMaster(addr string, minWorkers int) (*Master, error) {
+	return mapreduce.NewMaster(addr, minWorkers)
+}
+
+// RunWorker connects to a master and serves tasks until it closes.
+func RunWorker(addr string) error { return mapreduce.RunWorker(addr) }
+
+// EMRCluster is the simulated elastic cluster (Table 2 nodes).
+type EMRCluster = emr.Cluster
+
+// NewEMRCluster builds an n-node simulated cluster.
+func NewEMRCluster(n int) (*EMRCluster, error) { return emr.NewCluster(n) }
+
+// EMRFlow builds the DASC job flow for a dataset so it can be scheduled
+// on simulated clusters of different sizes (Table 3).
+func EMRFlow(points *Matrix, cfg Config, beta float64) (*emr.JobFlow, error) {
+	flow, _, err := core.EMRFlow(points, cfg, beta)
+	return flow, err
+}

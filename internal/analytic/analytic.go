@@ -1,0 +1,118 @@
+// Package analytic implements the paper's closed-form models: the DASC
+// and SC time/memory complexity expressions behind Figure 1 (Eqs. 3 and
+// 7–12), the signature-collision probability behind Figure 2 (Eqs.
+// 13–19), and the fitted category-count law of Table 1 (Eq. 15).
+package analytic
+
+import (
+	"math"
+)
+
+// Model carries the constants of the §4.1 numerical analysis.
+type Model struct {
+	// Beta is the average machine-operation time in seconds
+	// (the paper uses 50 microseconds).
+	Beta float64
+	// Nodes is the cluster size C (the paper uses 1024).
+	Nodes int
+}
+
+// DefaultModel returns the constants used to plot Figure 1.
+func DefaultModel() Model { return Model{Beta: 50e-6, Nodes: 1024} }
+
+// CategoryLaw returns the fitted number of Wikipedia categories for a
+// dataset of n documents: K = 17 (log2 n - 9), floored at 1 (Eq. 15).
+func CategoryLaw(n int) int {
+	if n < 2 {
+		return 1
+	}
+	k := 17 * (math.Log2(float64(n)) - 9)
+	if k < 1 {
+		return 1
+	}
+	return int(math.Round(k))
+}
+
+// SignatureBits returns the paper's operating point for the number of
+// hash bits: M = log2(B) where B is the bucket count; the §4.1 model
+// sets M = log B with B buckets. For plotting, B is derived from n as
+// in §5.4: M = ceil(log2(n)/2) - 1 and B = 2^M.
+func SignatureBits(n int) int {
+	if n < 2 {
+		return 1
+	}
+	m := int(math.Ceil(math.Log2(float64(n))/2)) - 1
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Buckets returns B = 2^M for n points under the §5.4 policy.
+func Buckets(n int) float64 { return math.Exp2(float64(SignatureBits(n))) }
+
+// DASCTime evaluates Eq. 11: the modeled DASC processing time in
+// seconds for n points spread over the model's C nodes.
+//
+//	T = beta/C * [ log B * n + B^2 + 2n + (2 n^2 + 34 n (log n - 9)) / B ]
+func (m Model) DASCTime(n float64) float64 {
+	b := Buckets(int(n))
+	k := 34 * n * (math.Log2(n) - 9) // 2*K*n with K = 17(log2 n - 9)
+	work := math.Log2(b)*n + b*b + 2*n + (2*n*n+k)/b
+	return m.Beta / float64(m.Nodes) * work
+}
+
+// SCTime evaluates the corresponding full-matrix spectral clustering
+// model: T = beta/C * (2 n^2 + 2 K n + 2 n), the denominator of Eq. 8.
+func (m Model) SCTime(n float64) float64 {
+	k := float64(CategoryLaw(int(n)))
+	work := 2*n*n + 2*k*n + 2*n
+	return m.Beta / float64(m.Nodes) * work
+}
+
+// DASCMemory evaluates Eq. 12: bytes to store the bucketed Gram blocks
+// at 4 bytes per single-precision entry, Memory = 4 B (n/B)^2 = 4 n^2/B.
+func (m Model) DASCMemory(n float64) float64 {
+	return 4 * n * n / Buckets(int(n))
+}
+
+// SCMemory is the full-matrix cost 4 n^2.
+func (m Model) SCMemory(n float64) float64 { return 4 * n * n }
+
+// TimeReductionRatio evaluates the upper-bound ratio of Eq. 8,
+// alpha ~= 1/B: DASC work over SC work under uniform buckets.
+func (m Model) TimeReductionRatio(n float64) float64 {
+	return m.DASCTime(n) / m.SCTime(n)
+}
+
+// CollisionProbability evaluates Eq. 18/19: the probability that a
+// group of adjacent points (differing in r of d dimensions) all hash
+// into the same bucket, for a Wikipedia-like dataset of n documents
+// hashed with mBits functions.
+//
+// With K = 17(log2 n - 9) categories, t = 11 - r + n r / K terms,
+// d = t K (Eqs. 15–17), the per-group collision probability is
+//
+//	P2 = ((d - r) / d)^(mBits * n / K)
+func CollisionProbability(n float64, r float64, mBits int) float64 {
+	k := float64(CategoryLaw(int(n)))
+	t := (11 - r) + n*r/k
+	d := t * k
+	if d <= 0 {
+		return 0
+	}
+	base := (d - r) / d
+	exp := float64(mBits) * n / k
+	return math.Pow(base, exp)
+}
+
+// Hours converts seconds to hours, a convenience for Figure 1 output.
+func Hours(sec float64) float64 { return sec / 3600 }
+
+// Log2 is a plotting helper that guards against non-positive input.
+func Log2(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,62 @@
+// Package baseline implements the three algorithms the paper compares
+// DASC against (§5.4): SC, plain spectral clustering on the full Gram
+// matrix (the Mahout-style reference); PSC, parallel spectral
+// clustering with a t-nearest-neighbour sparse similarity graph and a
+// parallel Lanczos eigensolver (Chen et al.); and NYST, spectral
+// clustering with the Nyström extension (Shi et al.).
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// Config is shared by the three baselines.
+type Config struct {
+	// K is the number of clusters (required).
+	K int
+	// Sigma is the Gaussian bandwidth; 0 selects the median heuristic.
+	Sigma float64
+	// Seed drives K-means and sampling.
+	Seed int64
+	// Neighbors is PSC's t (sparsity degree); 0 defaults to 20.
+	Neighbors int
+	// Samples is NYST's landmark count; 0 defaults to max(K*4, 64).
+	Samples int
+}
+
+// Result reports a baseline run.
+type Result struct {
+	// Labels is the clustering.
+	Labels []int
+	// GramBytes models the similarity-matrix storage at 4 bytes per
+	// entry, the paper's memory metric (Figure 6b).
+	GramBytes int64
+	// Elapsed is the measured wall-clock time.
+	Elapsed time.Duration
+}
+
+func (c Config) sigma(points *matrix.Dense) float64 {
+	if c.Sigma > 0 {
+		return c.Sigma
+	}
+	return kernel.MedianSigma(points, 512, c.Seed)
+}
+
+// SC runs plain spectral clustering on the full N x N Gram matrix.
+func SC(points *matrix.Dense, cfg Config) (*Result, error) {
+	start := time.Now()
+	s := kernel.Gram(points, kernel.Gaussian(cfg.sigma(points)))
+	res, err := spectral.Cluster(s, spectral.Config{K: cfg.K, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:    res.Labels,
+		GramBytes: kernel.GramBytes(points.Rows()),
+		Elapsed:   time.Since(start),
+	}, nil
+}

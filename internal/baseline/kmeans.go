@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/kmeans"
+	"repro/internal/matrix"
+)
+
+// KM is plain (non-kernel) K-means on the raw feature vectors — the
+// fourth comparator implied by the paper's §2 (Mahout's K-Means is the
+// first distributed algorithm it names). It needs no Gram matrix at
+// all, which makes it the memory floor every kernel method is traded
+// off against, and it fails exactly where spectral methods shine
+// (non-Gaussian cluster shapes).
+func KM(points *matrix.Dense, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("baseline: KM needs K > 0")
+	}
+	n := points.Rows()
+	if n == 0 {
+		return &Result{Labels: []int{}}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	start := time.Now()
+	res, err := kmeans.Run(points, kmeans.Config{K: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:    res.Labels,
+		GramBytes: 0, // no similarity matrix at all
+		Elapsed:   time.Since(start),
+	}, nil
+}

@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/kmeans"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// NYST runs spectral clustering with the Nyström extension in the
+// style of Shi et al. (§5.4's Matlab comparator): sample m landmark
+// points, compute the landmark kernel block W (m x m) and the cross
+// block C (n x m), extend W's eigenvectors to all points as
+// V ~= C U Lambda^{-1}, normalize rows, and run K-means. Only
+// O(n m + m^2) kernel entries are ever computed or stored.
+func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
+	n := points.Rows()
+	if cfg.K <= 0 {
+		return nil, errors.New("baseline: NYST needs K > 0")
+	}
+	if n == 0 {
+		return &Result{Labels: []int{}}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	m := cfg.Samples
+	if m == 0 {
+		m = cfg.K * 4
+		if m < 64 {
+			m = 64
+		}
+	}
+	if m < k {
+		m = k
+	}
+	if m > n {
+		m = n
+	}
+	start := time.Now()
+	kf := kernel.Gaussian(cfg.sigma(points))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Landmark sample without replacement (Fisher–Yates prefix).
+	perm := rng.Perm(n)
+	landmarks := perm[:m]
+
+	// W: landmark-landmark kernel with unit diagonal (the Nyström block
+	// must be positive definite, so keep k(x,x)=1 here).
+	w := matrix.NewDense(m, m)
+	for a := 0; a < m; a++ {
+		w.Set(a, a, 1)
+		xa := points.Row(landmarks[a])
+		for b := a + 1; b < m; b++ {
+			v := kf(xa, points.Row(landmarks[b]))
+			w.Set(a, b, v)
+			w.Set(b, a, v)
+		}
+	}
+	// C: all points vs landmarks.
+	c := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		xi := points.Row(i)
+		row := c.Row(i)
+		for b := 0; b < m; b++ {
+			if landmarks[b] == i {
+				row[b] = 1
+				continue
+			}
+			row[b] = kf(xi, points.Row(landmarks[b]))
+		}
+	}
+
+	// Approximate degrees for normalization: d ~= C W^{-1} (C^T 1)
+	// reduces to row sums of the Nyström-approximated similarity; the
+	// standard one-shot approximation uses d = C * (W^+ * (C^T * 1)).
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	ctOnes := make([]float64, m) // C^T * 1
+	for i := 0; i < n; i++ {
+		row := c.Row(i)
+		for b, v := range row {
+			ctOnes[b] += v
+		}
+	}
+	vals, vecs, err := linalg.EigenSym(w)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: NYST landmark eigensolver: %w", err)
+	}
+	// Pseudo-inverse application: W^+ x = U Lambda^+ U^T x.
+	winvCtOnes := applyPinv(vals, vecs, ctOnes)
+	deg, err := c.MulVec(winvCtOnes)
+	if err != nil {
+		return nil, err
+	}
+	dInv := make([]float64, n)
+	for i, v := range deg {
+		if v > 1e-12 {
+			dInv[i] = 1 / math.Sqrt(v)
+		}
+	}
+
+	// Extended eigenvectors of the normalized similarity:
+	// V[:, j] = D^{-1/2} C u_j / lambda_j for the top-k landmark pairs.
+	embed := matrix.NewDense(n, k)
+	for j := 0; j < k && j < len(vals); j++ {
+		if vals[j] <= 1e-12 {
+			break
+		}
+		uj := vecs.Col(j)
+		cu, err := c.MulVec(uj)
+		if err != nil {
+			return nil, err
+		}
+		inv := 1 / vals[j]
+		for i := 0; i < n; i++ {
+			embed.Set(i, j, cu[i]*inv*dInv[i])
+		}
+	}
+	matrix.NormalizeRows(embed)
+	km, err := kmeans.Run(embed, kmeans.Config{K: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: NYST kmeans: %w", err)
+	}
+	return &Result{
+		Labels:    km.Labels,
+		GramBytes: 4 * (int64(n)*int64(m) + int64(m)*int64(m)),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// applyPinv computes U diag(1/vals) U^T x, skipping tiny eigenvalues.
+func applyPinv(vals []float64, vecs *matrix.Dense, x []float64) []float64 {
+	n := vecs.Rows()
+	out := make([]float64, n)
+	for j, lambda := range vals {
+		if math.Abs(lambda) < 1e-10 {
+			continue
+		}
+		uj := vecs.Col(j)
+		c := matrix.Dot(uj, x) / lambda
+		matrix.AXPY(c, uj, out)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package core implements DASC — Distributed Approximate Spectral
+// Clustering — the paper's primary contribution (§3). The pipeline is:
+//
+//  1. hash every point to an M-bit signature with span-weighted
+//     random-projection LSH (internal/lsh),
+//  2. group points by signature and merge buckets whose signatures are
+//     near-duplicates (Eq. 6),
+//  3. compute a Gaussian-kernel sub-similarity matrix per bucket
+//     (internal/kernel) — the approximated Gram matrix,
+//  4. run spectral clustering independently on every bucket
+//     (internal/spectral) and assemble global labels.
+//
+// Three drivers expose the same algorithm: Cluster (in-process worker
+// pool), ClusterMapReduce (two MapReduce stages on any
+// mapreduce.Executor, the paper's Hadoop formulation), and EMRFlow
+// (an emr job flow whose task costs follow §4.1's model, for the
+// elasticity study of Table 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/kernel"
+	"repro/internal/kmeans"
+	"repro/internal/lsh"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// Config controls a DASC run.
+type Config struct {
+	// K is the total number of clusters across the dataset; 0 derives
+	// it from the paper's category law K = 17(log2 N - 9).
+	K int
+	// M is the signature width in bits; 0 uses the paper's
+	// M = ceil(log2(N)/2) - 1.
+	M int
+	// P is the minimum number of identical signature bits required to
+	// merge two buckets; 0 uses the paper's P = M-1 (Hamming radius 1).
+	// Set P = -1 to disable merging entirely (ablation).
+	P int
+	// Sigma is the Gaussian kernel bandwidth; 0 selects the median
+	// heuristic from a data sample.
+	Sigma float64
+	// Policy selects the LSH dimension-choice strategy.
+	Policy lsh.DimensionPolicy
+	// Bins is the LSH threshold histogram resolution (default 20).
+	Bins int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers caps the parallel bucket-clustering goroutines
+	// (default GOMAXPROCS).
+	Workers int
+	// Family optionally replaces the paper's span/threshold hash with
+	// another LSH family (SimHash, MinHash, spectral hashing, ...).
+	// When set, M is taken from the family and Policy/Bins are ignored.
+	Family lsh.Family
+}
+
+// BucketReport describes one processed bucket.
+type BucketReport struct {
+	// Signature identifies the bucket.
+	Signature uint64
+	// Size is the number of points.
+	Size int
+	// K is the number of clusters extracted from this bucket.
+	K int
+	// GramBytes is the bucket's sub-similarity storage at 4 bytes/entry.
+	GramBytes int64
+}
+
+// Result reports a DASC run.
+type Result struct {
+	// Labels[i] is the global cluster of point i. Cluster ids are
+	// contiguous from 0; clusters never span buckets.
+	Labels []int
+	// Clusters is the total number of clusters produced.
+	Clusters int
+	// Buckets describes the processed partition.
+	Buckets []BucketReport
+	// GramBytes is the total approximated-Gram storage (Figure 6b).
+	GramBytes int64
+	// SignatureBits is the M actually used.
+	SignatureBits int
+	// MergeRadius is the Hamming merge radius actually used.
+	MergeRadius int
+	// Elapsed is the measured wall-clock time.
+	Elapsed time.Duration
+}
+
+// ErrBadConfig reports unusable configuration.
+var ErrBadConfig = errors.New("core: bad config")
+
+// resolve fills config defaults for a dataset of n points.
+func (c Config) resolve(n int) (Config, int, error) {
+	if n == 0 {
+		return c, 0, errors.New("core: empty dataset")
+	}
+	if c.K == 0 {
+		c.K = analytic.CategoryLaw(n)
+	}
+	if c.K < 1 || c.K > n {
+		return c, 0, fmt.Errorf("%w: K=%d with N=%d", ErrBadConfig, c.K, n)
+	}
+	if c.M == 0 {
+		c.M = lsh.DefaultM(n)
+	}
+	if c.M < 1 || c.M > lsh.MaxBits {
+		return c, 0, fmt.Errorf("%w: M=%d", ErrBadConfig, c.M)
+	}
+	radius := 1 // paper default: P = M-1 permits one differing bit
+	switch {
+	case c.P == -1:
+		radius = -1 // merging disabled
+	case c.P == 0:
+		radius = 1
+	case c.P > c.M:
+		return c, 0, fmt.Errorf("%w: P=%d > M=%d", ErrBadConfig, c.P, c.M)
+	default:
+		radius = c.M - c.P
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, radius, nil
+}
+
+// Cluster runs DASC in-process, processing buckets on a worker pool.
+func Cluster(points *matrix.Dense, cfg Config) (*Result, error) {
+	start := time.Now()
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	family := cfg.Family
+	if family == nil {
+		hasher, err := lsh.Fit(points, lsh.Config{
+			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: lsh: %w", err)
+		}
+		family = hasher
+	} else {
+		cfg.M = family.Bits()
+	}
+	part := lsh.PartitionWith(family, points, radius)
+
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+
+	res, err := clusterBuckets(points, part, cfg, sigma)
+	if err != nil {
+		return nil, err
+	}
+	res.SignatureBits = cfg.M
+	res.MergeRadius = radius
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// clusterBuckets runs spectral clustering on each bucket of the
+// partition and assembles global labels. It is shared by the local and
+// MapReduce drivers.
+func clusterBuckets(points *matrix.Dense, part *lsh.Partition, cfg Config, sigma float64) (*Result, error) {
+	n := points.Rows()
+	type bucketOut struct {
+		labels []int // local cluster ids per bucket point
+		k      int
+		err    error
+	}
+	outs := make([]bucketOut, len(part.Buckets))
+	kf := kernel.Gaussian(sigma)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for bi := range part.Buckets {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b := part.Buckets[bi]
+			labels, k, err := clusterOneBucket(points, b.Indices, cfg, n, kf)
+			outs[bi] = bucketOut{labels, k, err}
+		}(bi)
+	}
+	wg.Wait()
+
+	res := &Result{Labels: make([]int, n)}
+	offset := 0
+	for bi, b := range part.Buckets {
+		o := outs[bi]
+		if o.err != nil {
+			return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, o.err)
+		}
+		for pi, idx := range b.Indices {
+			res.Labels[idx] = offset + o.labels[pi]
+		}
+		gb := 4 * int64(len(b.Indices)) * int64(len(b.Indices))
+		res.Buckets = append(res.Buckets, BucketReport{
+			Signature: b.Signature,
+			Size:      len(b.Indices),
+			K:         o.k,
+			GramBytes: gb,
+		})
+		res.GramBytes += gb
+		offset += o.k
+	}
+	res.Clusters = offset
+	return res, nil
+}
+
+// BucketK returns the number of clusters assigned to a bucket of size
+// ni out of n points when the dataset-wide target is k: the bucket's
+// proportional share, at least 1 and at most ni.
+func BucketK(k, ni, n int) int {
+	ki := int(math.Round(float64(k) * float64(ni) / float64(n)))
+	if ki < 1 {
+		ki = 1
+	}
+	if ki > ni {
+		ki = ni
+	}
+	return ki
+}
+
+// clusterOneBucket runs the per-bucket pipeline: sub-Gram, normalized
+// Laplacian, eigenvectors, K-means. Tiny buckets short-circuit.
+func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Func) ([]int, int, error) {
+	ni := len(indices)
+	ki := BucketK(cfg.K, ni, n)
+	if ni == 1 || ki == 1 {
+		return make([]int, ni), 1, nil
+	}
+	if ki == ni {
+		labels := make([]int, ni)
+		for i := range labels {
+			labels[i] = i
+		}
+		return labels, ni, nil
+	}
+	sub := kernel.SubGram(points, indices, kf)
+	res, err := spectral.Cluster(sub, spectral.Config{K: ki, Seed: cfg.Seed + int64(indices[0])})
+	if err == nil {
+		return res.Labels, ki, nil
+	}
+	// Degenerate sub-Gram (e.g. all-zero similarities): fall back to
+	// K-means on the raw bucket points rather than failing the run.
+	bucketPts := matrix.NewDense(ni, points.Cols())
+	for i, idx := range indices {
+		copy(bucketPts.Row(i), points.Row(idx))
+	}
+	km, kerr := kmeans.Run(bucketPts, kmeans.Config{K: ki, Seed: cfg.Seed})
+	if kerr != nil {
+		return nil, 0, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
+	}
+	return km.Labels, ki, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/emr"
+	"repro/internal/lsh"
+	"repro/internal/matrix"
+)
+
+// EMRFlow builds the paper's §5.1 job flow for a dataset: step 1
+// partitions the input with LSH (one task per input split), step 2 runs
+// spectral clustering on every bucket (one task per bucket, cost from
+// the §4.1 complexity model with the given beta), and step 3 collects
+// results. The real LSH partition of the dataset drives the task list,
+// so simulated makespans reflect the actual bucket skew.
+//
+// The returned flow can be scheduled on emr.Clusters of different sizes
+// to reproduce Table 3's elasticity study.
+func EMRFlow(points *matrix.Dense, cfg Config, beta float64) (*emr.JobFlow, *lsh.Partition, error) {
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if beta <= 0 {
+		beta = analytic.DefaultModel().Beta
+	}
+	hasher, err := lsh.Fit(points, lsh.Config{
+		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: lsh: %w", err)
+	}
+	part := lsh.PartitionSignatures(hasher.Signatures(points), radius)
+	flow := BuildFlow(part, cfg, n, points.Cols(), beta)
+	return flow, part, nil
+}
+
+// BuildFlow constructs the job flow from an existing partition. Costs
+// follow §4.1: hashing is beta*M per point per split; a bucket of
+// size Ni with Ki clusters costs beta*(2 Ni^2 + 2 Ki Ni); collection is
+// a single linear pass. Memory per bucket is the 4 Ni^2-byte sub-Gram.
+func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.JobFlow {
+	if beta <= 0 {
+		beta = analytic.DefaultModel().Beta
+	}
+	m := cfg.M
+	if m == 0 {
+		m = lsh.DefaultM(n)
+	}
+	const splitSize = 1024
+	var lshTasks []emr.Task
+	for start := 0; start < n; start += splitSize {
+		size := splitSize
+		if start+size > n {
+			size = n - start
+		}
+		lshTasks = append(lshTasks, emr.Task{
+			Name:        fmt.Sprintf("lsh-split-%d", start/splitSize),
+			Cost:        beta * float64(m) * float64(size),
+			MemoryBytes: int64(size) * int64(dims) * 8,
+		})
+	}
+
+	var clusterTasks []emr.Task
+	for _, b := range part.Buckets {
+		ni := len(b.Indices)
+		ki := BucketK(cfg.K, ni, n)
+		clusterTasks = append(clusterTasks, emr.Task{
+			Name:        fmt.Sprintf("bucket-%x", b.Signature),
+			Cost:        beta * (2*float64(ni)*float64(ni) + 2*float64(ki)*float64(ni)),
+			MemoryBytes: 4 * int64(ni) * int64(ni),
+		})
+	}
+
+	// Result collection streams labels back to the blob store; like the
+	// hashing step it parallelizes over input splits.
+	var collect []emr.Task
+	for start := 0; start < n; start += splitSize {
+		size := splitSize
+		if start+size > n {
+			size = n - start
+		}
+		collect = append(collect, emr.Task{
+			Name:        fmt.Sprintf("collect-%d", start/splitSize),
+			Cost:        beta * float64(size),
+			MemoryBytes: int64(size) * 8,
+		})
+	}
+
+	return &emr.JobFlow{
+		Name: "dasc",
+		Steps: []emr.Step{
+			{Name: "lsh-partition", Tasks: lshTasks},
+			{Name: "spectral-clustering", Tasks: clusterTasks},
+			{Name: "collect", Tasks: collect},
+		},
+	}
+}

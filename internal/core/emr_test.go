@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/emr"
+	"repro/internal/lsh"
+)
+
+func TestEMRFlowStructure(t *testing.T) {
+	l := mixture(t, 512, 16, 4, 0.05, 30)
+	flow, part, err := EMRFlow(l.Points, Config{K: 4, Seed: 31}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(flow.Steps))
+	}
+	if flow.Steps[0].Name != "lsh-partition" || flow.Steps[1].Name != "spectral-clustering" {
+		t.Fatalf("step names: %v %v", flow.Steps[0].Name, flow.Steps[1].Name)
+	}
+	if len(flow.Steps[1].Tasks) != part.NumBuckets() {
+		t.Fatalf("cluster tasks %d != buckets %d", len(flow.Steps[1].Tasks), part.NumBuckets())
+	}
+	// Bucket memory must equal the 4*Ni^2 accounting.
+	var mem int64
+	for _, task := range flow.Steps[1].Tasks {
+		mem += task.MemoryBytes
+	}
+	if mem != 4*part.ApproxGramEntries() {
+		t.Fatalf("flow memory %d != 4*sumNi2 %d", mem, 4*part.ApproxGramEntries())
+	}
+}
+
+func TestEMRFlowElasticityShape(t *testing.T) {
+	// Table 3: doubling the node count roughly halves the total time
+	// while memory stays constant. Linear scaling needs many more
+	// bucket tasks than slots, so build the flow from a synthetic
+	// 600-bucket partition (the real Wikipedia runs have thousands).
+	part := syntheticPartition(600, 200)
+	n := 0
+	for _, s := range part.Sizes() {
+		n += s
+	}
+	flow := BuildFlow(part, Config{K: 64, Workers: 1}, n, 16, 50e-6)
+	var prev *emr.FlowReport
+	for _, nodes := range []int{16, 32, 64} {
+		c, err := emr.NewCluster(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.RunJobFlow(flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			// The spectral-clustering step dominates the paper's runs
+			// and must scale near-linearly; fixed-cost steps (single
+			// collect task) keep TotalTime slightly sublinear.
+			speedup := prev.Steps[1].Makespan / rep.Steps[1].Makespan
+			if speedup < 1.6 || speedup > 2.4 {
+				t.Fatalf("%d nodes: clustering speedup %v, want ~2", nodes, speedup)
+			}
+			if rep.TotalMemory != prev.TotalMemory {
+				t.Fatalf("memory changed with node count: %d vs %d",
+					rep.TotalMemory, prev.TotalMemory)
+			}
+		}
+		prev = rep
+	}
+}
+
+// syntheticPartition builds a partition of `buckets` buckets whose
+// sizes jitter around meanSize, mimicking a large Wikipedia run.
+func syntheticPartition(buckets, meanSize int) *lsh.Partition {
+	p := &lsh.Partition{}
+	idx := 0
+	for b := 0; b < buckets; b++ {
+		size := meanSize/2 + (b*7)%meanSize // deterministic skew
+		if size < 1 {
+			size = 1
+		}
+		indices := make([]int, size)
+		for i := range indices {
+			indices[i] = idx
+			idx++
+		}
+		p.Buckets = append(p.Buckets, lsh.Bucket{Signature: uint64(b), Indices: indices})
+	}
+	return p
+}
+
+func TestEMRFlowValidation(t *testing.T) {
+	l := mixture(t, 16, 4, 2, 0.05, 34)
+	if _, _, err := EMRFlow(l.Points, Config{K: 99}, 0); err == nil {
+		t.Fatal("expected config error")
+	}
+}

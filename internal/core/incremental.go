@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/lsh"
+	"repro/internal/matrix"
+)
+
+// IncrementalResult extends Result with the bounded-memory accounting
+// of the streaming driver.
+type IncrementalResult struct {
+	Result
+	// PeakGramBytes is the largest sub-Gram storage resident at any
+	// point during the run — the quantity the budget bounds.
+	PeakGramBytes int64
+	// Waves is the number of sequential batches the buckets were
+	// processed in.
+	Waves int
+}
+
+// ClusterIncremental runs DASC processing buckets in sequential waves
+// so that the resident approximated-Gram storage never exceeds
+// budgetBytes — the paper's §5.1 claim that "the data partitions (or
+// splits) are incrementally processed, split by split, based on the
+// number of available mappers", which is how DASC handles datasets
+// whose bucketed Gram still exceeds one machine's memory.
+//
+// A single bucket larger than the budget is processed alone (its
+// sub-Gram is irreducible); the reported peak then exceeds the budget
+// and callers can react by increasing M.
+func ClusterIncremental(points *matrix.Dense, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
+	start := time.Now()
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("core: memory budget %d must be positive", budgetBytes)
+	}
+	family := cfg.Family
+	if family == nil {
+		hasher, err := lsh.Fit(points, lsh.Config{
+			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: lsh: %w", err)
+		}
+		family = hasher
+	} else {
+		cfg.M = family.Bits()
+	}
+	part := lsh.PartitionWith(family, points, radius)
+
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+
+	// Pack buckets into waves first-fit-decreasing under the budget.
+	order := make([]int, len(part.Buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(part.Buckets[order[a]].Indices) > len(part.Buckets[order[b]].Indices)
+	})
+	gramOf := func(bi int) int64 {
+		ni := int64(len(part.Buckets[bi].Indices))
+		return 4 * ni * ni
+	}
+	var waves [][]int
+	waveLoad := []int64{}
+	for _, bi := range order {
+		need := gramOf(bi)
+		placed := false
+		for w := range waves {
+			if waveLoad[w]+need <= budgetBytes {
+				waves[w] = append(waves[w], bi)
+				waveLoad[w] += need
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			waves = append(waves, []int{bi})
+			waveLoad = append(waveLoad, need)
+		}
+	}
+
+	res := &IncrementalResult{Waves: len(waves)}
+	res.Labels = make([]int, n)
+	res.SignatureBits = cfg.M
+	res.MergeRadius = radius
+
+	// Cluster offsets must be assigned in the canonical bucket order so
+	// the labeling matches the batch driver regardless of wave packing.
+	offsets := make([]int, len(part.Buckets))
+	kOf := make([]int, len(part.Buckets))
+	running := 0
+	for bi, b := range part.Buckets {
+		offsets[bi] = running
+		kOf[bi] = BucketK(cfg.K, len(b.Indices), n)
+		running += kOf[bi]
+	}
+
+	kf := kernel.Gaussian(sigma)
+	for w, wave := range waves {
+		if waveLoad[w] > res.PeakGramBytes {
+			res.PeakGramBytes = waveLoad[w]
+		}
+		for _, bi := range wave {
+			b := part.Buckets[bi]
+			labels, k, err := clusterOneBucket(points, b.Indices, cfg, n, kf)
+			if err != nil {
+				return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, err)
+			}
+			if k != kOf[bi] {
+				return nil, fmt.Errorf("core: bucket %x produced %d clusters, planned %d",
+					b.Signature, k, kOf[bi])
+			}
+			for pos, idx := range b.Indices {
+				res.Labels[idx] = offsets[bi] + labels[pos]
+			}
+		}
+	}
+	res.Clusters = running
+	var gram int64
+	for bi, b := range part.Buckets {
+		gb := gramOf(bi)
+		res.Buckets = append(res.Buckets, BucketReport{
+			Signature: b.Signature,
+			Size:      len(b.Indices),
+			K:         kOf[bi],
+			GramBytes: gb,
+		})
+		gram += gb
+	}
+	res.GramBytes = gram
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestClusterIncrementalMatchesBatch(t *testing.T) {
+	l := mixture(t, 240, 12, 4, 0.03, 40)
+	cfg := Config{K: 4, Seed: 41}
+	batch, err := Cluster(l.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ClusterIncremental(l.Points, cfg, batch.GramBytes) // one wave fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.Labels {
+		if batch.Labels[i] != inc.Labels[i] {
+			t.Fatal("incremental driver must reproduce batch labels")
+		}
+	}
+	if inc.GramBytes != batch.GramBytes || inc.Clusters != batch.Clusters {
+		t.Fatalf("bookkeeping differs: %+v vs %+v", inc.Result, *batch)
+	}
+}
+
+func TestClusterIncrementalRespectsBudget(t *testing.T) {
+	l := mixture(t, 300, 12, 6, 0.03, 42)
+	cfg := Config{K: 6, Seed: 43, M: 6}
+	full, err := Cluster(l.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget = half the total Gram: must need at least 2 waves and keep
+	// the peak within budget unless a single bucket exceeds it.
+	budget := full.GramBytes/2 + 1
+	var largest int64
+	for _, b := range full.Buckets {
+		if b.GramBytes > largest {
+			largest = b.GramBytes
+		}
+	}
+	inc, err := ClusterIncremental(l.Points, cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Waves < 2 {
+		t.Fatalf("waves = %d, want >= 2 under a half budget", inc.Waves)
+	}
+	limit := budget
+	if largest > limit {
+		limit = largest
+	}
+	if inc.PeakGramBytes > limit {
+		t.Fatalf("peak %d exceeds limit %d", inc.PeakGramBytes, limit)
+	}
+	// Same labels as batch regardless of wave packing.
+	for i := range full.Labels {
+		if full.Labels[i] != inc.Labels[i] {
+			t.Fatal("wave packing changed the labels")
+		}
+	}
+}
+
+func TestClusterIncrementalValidation(t *testing.T) {
+	l := mixture(t, 20, 4, 2, 0.05, 44)
+	if _, err := ClusterIncremental(l.Points, Config{K: 2}, 0); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+	if _, err := ClusterIncremental(l.Points, Config{K: 99}, 1<<20); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestClusterIncrementalOversizedBucket(t *testing.T) {
+	// A budget smaller than the largest bucket still completes; the
+	// peak simply reports the irreducible bucket.
+	l := mixture(t, 120, 8, 2, 0.02, 45)
+	inc, err := ClusterIncremental(l.Points, Config{K: 2, Seed: 46}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.PeakGramBytes <= 8 {
+		t.Fatalf("peak %d should exceed the tiny budget", inc.PeakGramBytes)
+	}
+	if len(inc.Labels) != 120 {
+		t.Fatalf("labels = %d", len(inc.Labels))
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/lsh"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+)
+
+// ClusterMapReduce runs DASC as the paper's two MapReduce stages (§3.3)
+// on the given executor:
+//
+//	stage 1 (Algorithm 1): map each (index, vector) record to a
+//	  (signature, index) pair; the grouped reduce output is the raw
+//	  signature partition,
+//	stage 2 (Algorithm 2): after the driver merges near-duplicate
+//	  signatures, each reducer computes its bucket's sub-similarity
+//	  matrix and runs spectral clustering, emitting per-point labels.
+//
+// The jobs are registered under names derived from jobPrefix so that
+// TCP workers in the same process can execute them (the points matrix
+// travels by closure, standing in for HDFS-distributed input splits).
+func ClusterMapReduce(points *matrix.Dense, cfg Config, exec mapreduce.Executor, jobPrefix string) (*Result, error) {
+	start := time.Now()
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	hasher, err := lsh.Fit(points, lsh.Config{
+		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: lsh: %w", err)
+	}
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+
+	// ---- stage 1: signature generation ----
+	lshJob := LSHJob(jobPrefix, points, hasher)
+	input := make([]mapreduce.Pair, n)
+	for i := 0; i < n; i++ {
+		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
+	}
+	sigPairs, _, err := exec.Run(lshJob, input)
+	if err != nil {
+		return nil, fmt.Errorf("core: lsh stage: %w", err)
+	}
+
+	// Reassemble per-point signatures, then merge near-duplicates on
+	// the driver (the paper performs this step "before applying the
+	// reducer" of stage 2).
+	sigs := make([]uint64, n)
+	for _, p := range sigPairs {
+		sig, err := strconv.ParseUint(p.Key, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad signature %q: %w", p.Key, err)
+		}
+		idx := int(binary.LittleEndian.Uint32(p.Value))
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: index %d out of range", idx)
+		}
+		sigs[idx] = sig
+	}
+	part := lsh.PartitionSignatures(sigs, radius)
+
+	// ---- stage 2: per-bucket similarity + spectral clustering ----
+	clusterJob := ClusterJob(jobPrefix, points, cfg, sigma)
+	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
+	for bi, b := range part.Buckets {
+		stage2Input[bi] = mapreduce.Pair{
+			Key:   fmt.Sprintf("%016x", b.Signature),
+			Value: encodeIndices(b.Indices),
+		}
+	}
+	labelPairs, _, err := exec.Run(clusterJob, stage2Input)
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster stage: %w", err)
+	}
+	// Each reducer emitted (bucketSig, [pointIndex, localLabel, k]).
+	return assembleLabels(labelPairs, n, cfg, radius, start)
+}
+
+// LSHJob builds the stage-1 MapReduce job (Algorithm 1): the mapper
+// hashes its input vector and emits (signature, index); the reducer
+// passes records through, so the executor's shuffle performs the
+// signature grouping.
+func LSHJob(prefix string, points *matrix.Dense, hasher *lsh.Hasher) *mapreduce.Job {
+	job := &mapreduce.Job{
+		Name:        prefix + "/lsh",
+		NumReducers: 4,
+		Map: func(key string, value []byte, emit mapreduce.Emit) error {
+			idx, err := strconv.Atoi(key)
+			if err != nil {
+				return fmt.Errorf("bad point index %q: %w", key, err)
+			}
+			if idx < 0 || idx >= points.Rows() {
+				return fmt.Errorf("point index %d out of range", idx)
+			}
+			sig := hasher.Signature(points.Row(idx))
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(idx))
+			emit(fmt.Sprintf("%016x", sig), buf[:])
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
+			for _, v := range values {
+				emit(key, v)
+			}
+			return nil
+		},
+	}
+	mapreduce.Register(job)
+	return job
+}
+
+// ClusterJob builds the stage-2 MapReduce job (Algorithm 2): each
+// reduce key is one merged bucket; the reducer computes the bucket's
+// sub-similarity matrix and runs spectral clustering, emitting one
+// (bucketSig, point/label/k) record per point.
+func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) *mapreduce.Job {
+	n := points.Rows()
+	kf := kernel.Gaussian(sigma)
+	job := &mapreduce.Job{
+		Name:        prefix + "/cluster",
+		NumReducers: 4,
+		Map: func(key string, value []byte, emit mapreduce.Emit) error {
+			emit(key, value) // identity: buckets are already formed
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
+			for _, v := range values {
+				indices, err := decodeIndices(v)
+				if err != nil {
+					return err
+				}
+				labels, k, err := clusterOneBucket(points, indices, cfg, n, kf)
+				if err != nil {
+					return err
+				}
+				for pi, idx := range indices {
+					emit(key, encodeLabel(idx, labels[pi], k))
+				}
+			}
+			return nil
+		},
+	}
+	mapreduce.Register(job)
+	return job
+}
+
+// encodeIndices packs point indices as little-endian uint32s.
+func encodeIndices(indices []int) []byte {
+	buf := make([]byte, 4*len(indices))
+	for i, idx := range indices {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(idx))
+	}
+	return buf
+}
+
+func decodeIndices(buf []byte) ([]int, error) {
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("core: index payload length %d", len(buf))
+	}
+	out := make([]int, len(buf)/4)
+	for i := range out {
+		v := binary.LittleEndian.Uint32(buf[i*4:])
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("core: index %d overflows", v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// encodeLabel packs (pointIndex, localLabel, bucketK).
+func encodeLabel(idx, label, k int) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(idx))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(label))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(k))
+	return buf
+}
+
+func decodeLabel(buf []byte) (idx, label, k int) {
+	return int(binary.LittleEndian.Uint32(buf[0:])),
+		int(binary.LittleEndian.Uint32(buf[4:])),
+		int(binary.LittleEndian.Uint32(buf[8:]))
+}

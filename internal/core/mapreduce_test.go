@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+func matrixOfSize(r, c int) *matrix.Dense { return matrix.NewDense(r, c) }
+
+func TestClusterMapReduceMatchesLocalDriver(t *testing.T) {
+	l := mixture(t, 180, 12, 3, 0.03, 20)
+	direct, err := Cluster(l.Points, Config{K: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMR, err := ClusterMapReduce(l.Points, Config{K: 3, Seed: 21}, &mapreduce.Local{}, "test-eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same partition, same per-bucket seeds: identical partitions.
+	agree, err := metrics.Accuracy(direct.Labels, viaMR.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != 1 {
+		t.Fatalf("MapReduce driver disagrees with local driver: overlap %v", agree)
+	}
+	if direct.GramBytes != viaMR.GramBytes {
+		t.Fatalf("GramBytes differ: %d vs %d", direct.GramBytes, viaMR.GramBytes)
+	}
+	if direct.Clusters != viaMR.Clusters {
+		t.Fatalf("cluster counts differ: %d vs %d", direct.Clusters, viaMR.Clusters)
+	}
+}
+
+func TestClusterMapReduceAccuracy(t *testing.T) {
+	l := mixture(t, 160, 16, 4, 0.02, 22)
+	res, err := ClusterMapReduce(l.Points, Config{K: 4, Seed: 23}, &mapreduce.Local{Workers: 4}, "test-acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.Accuracy(l.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestClusterMapReduceOverTCP(t *testing.T) {
+	l := mixture(t, 100, 8, 2, 0.03, 24)
+	// The job constructors inside ClusterMapReduce register the jobs by
+	// name, and the in-process TCP workers share that registry — the
+	// same way Hadoop workers share the job jar.
+	prefix := "test-tcp"
+	m, err := mapreduce.NewMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mapreduce.RunWorker(m.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.ConnectedWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not join")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err := ClusterMapReduce(l.Points, Config{K: 2, Seed: 25}, m, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.Accuracy(l.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("TCP accuracy = %v", acc)
+	}
+	m.Close()
+	wg.Wait()
+}
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	in := []int{0, 1, 42, 1 << 20}
+	out, err := decodeIndices(encodeIndices(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(in) != fmt.Sprint(out) {
+		t.Fatalf("round trip: %v -> %v", in, out)
+	}
+	if _, err := decodeIndices([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for misaligned payload")
+	}
+}
+
+func TestLabelCodecRoundTrip(t *testing.T) {
+	idx, label, k := decodeLabel(encodeLabel(7, 3, 11))
+	if idx != 7 || label != 3 || k != 11 {
+		t.Fatalf("round trip: %d %d %d", idx, label, k)
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/kmeans"
+	"repro/internal/lsh"
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// This file provides the closure-free MapReduce formulation of DASC:
+// the jobs carry no pointers into the driver's memory, so TCP workers
+// in *separate OS processes* can execute them — the full Hadoop
+// deployment model. The hash parameters and clustering configuration
+// travel as the job Conf (Hadoop's JobConf analogue) and the vectors
+// travel inside the records (HDFS's input splits analogue).
+//
+// The factories are registered at package init, so any process that
+// imports this package (e.g. cmd/dascworker) can serve the jobs.
+
+// Names of the factory-registered jobs.
+const (
+	ShippedLSHJobName     = "dasc/shipped-lsh"
+	ShippedClusterJobName = "dasc/shipped-cluster"
+)
+
+func init() {
+	mapreduce.RegisterFactory(ShippedLSHJobName, newShippedLSHJob)
+	mapreduce.RegisterFactory(ShippedClusterJobName, newShippedClusterJob)
+}
+
+// lshConf is the stage-1 configuration: the fitted hash parameters.
+type lshConf struct {
+	Dims       []int
+	Thresholds []float64
+}
+
+// clusterConf is the stage-2 configuration.
+type clusterConf struct {
+	N     int
+	K     int
+	Sigma float64
+	Seed  int64
+}
+
+// bucketPayload is one stage-2 record: a bucket's points shipped by
+// value.
+type bucketPayload struct {
+	Indices []int32
+	Dims    int
+	Vectors []float64 // len(Indices) x Dims, row-major
+}
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// newShippedLSHJob rebuilds stage 1 from its configuration: the mapper
+// decodes each record's vector, hashes it with the shipped thresholds,
+// and emits (signature, index); the reducer is the identity grouping.
+func newShippedLSHJob(conf []byte) (*mapreduce.Job, error) {
+	var c lshConf
+	if err := gobDecode(conf, &c); err != nil {
+		return nil, fmt.Errorf("core: lsh conf: %w", err)
+	}
+	if len(c.Dims) != len(c.Thresholds) || len(c.Dims) == 0 {
+		return nil, fmt.Errorf("core: lsh conf has %d dims, %d thresholds", len(c.Dims), len(c.Thresholds))
+	}
+	return &mapreduce.Job{
+		NumReducers: 4,
+		Map: func(key string, value []byte, emit mapreduce.Emit) error {
+			idx, err := strconv.Atoi(key)
+			if err != nil {
+				return fmt.Errorf("bad point index %q: %w", key, err)
+			}
+			vec, err := decodeVector(value)
+			if err != nil {
+				return err
+			}
+			var sig uint64
+			for i, dim := range c.Dims {
+				if dim < 0 || dim >= len(vec) {
+					return fmt.Errorf("hash dimension %d outside vector of %d", dim, len(vec))
+				}
+				if vec[dim] > c.Thresholds[i] {
+					sig |= 1 << uint(i)
+				}
+			}
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(idx))
+			emit(fmt.Sprintf("%016x", sig), buf[:])
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
+			for _, v := range values {
+				emit(key, v)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// newShippedClusterJob rebuilds stage 2: each reduce value is a bucket
+// payload; the reducer reconstructs the bucket matrix, runs the
+// per-bucket pipeline, and emits per-point (index, localLabel, k).
+func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
+	var c clusterConf
+	if err := gobDecode(conf, &c); err != nil {
+		return nil, fmt.Errorf("core: cluster conf: %w", err)
+	}
+	if c.N < 1 || c.K < 1 || c.Sigma <= 0 {
+		return nil, fmt.Errorf("core: cluster conf %+v invalid", c)
+	}
+	return &mapreduce.Job{
+		NumReducers: 4,
+		Map: func(key string, value []byte, emit mapreduce.Emit) error {
+			emit(key, value)
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
+			for _, v := range values {
+				var payload bucketPayload
+				if err := gobDecode(v, &payload); err != nil {
+					return fmt.Errorf("bucket payload: %w", err)
+				}
+				ni := len(payload.Indices)
+				if ni == 0 || payload.Dims < 1 || len(payload.Vectors) != ni*payload.Dims {
+					return fmt.Errorf("bucket payload shape %d x %d vs %d values",
+						ni, payload.Dims, len(payload.Vectors))
+				}
+				pts, err := matrix.NewDenseData(ni, payload.Dims, payload.Vectors)
+				if err != nil {
+					return err
+				}
+				labels, k, err := clusterShippedBucket(pts, c, payload.Indices)
+				if err != nil {
+					return err
+				}
+				for pos, idx := range payload.Indices {
+					emit(key, encodeLabel(int(idx), labels[pos], k))
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// clusterShippedBucket mirrors clusterOneBucket on a shipped bucket.
+func clusterShippedBucket(pts *matrix.Dense, c clusterConf, indices []int32) ([]int, int, error) {
+	ni := pts.Rows()
+	ki := BucketK(c.K, ni, c.N)
+	if ni == 1 || ki == 1 {
+		return make([]int, ni), 1, nil
+	}
+	if ki == ni {
+		labels := make([]int, ni)
+		for i := range labels {
+			labels[i] = i
+		}
+		return labels, ni, nil
+	}
+	all := make([]int, ni)
+	for i := range all {
+		all[i] = i
+	}
+	sub := kernel.SubGram(pts, all, kernel.Gaussian(c.Sigma))
+	res, err := spectral.Cluster(sub, spectral.Config{K: ki, Seed: c.Seed + int64(indices[0])})
+	if err == nil {
+		return res.Labels, ki, nil
+	}
+	km, kerr := kmeans.Run(pts, kmeans.Config{K: ki, Seed: c.Seed})
+	if kerr != nil {
+		return nil, 0, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
+	}
+	return km.Labels, ki, nil
+}
+
+// encodeVector packs a float64 vector little-endian.
+func encodeVector(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	return buf
+}
+
+func decodeVector(buf []byte) ([]float64, error) {
+	if len(buf) == 0 || len(buf)%8 != 0 {
+		return nil, fmt.Errorf("core: vector payload length %d", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+// ClusterMapReduceShipped runs DASC's two MapReduce stages with all
+// data shipped through the records, so the executor's workers may live
+// in other OS processes (start them with cmd/dascworker). Semantically
+// identical to ClusterMapReduce.
+func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Executor) (*Result, error) {
+	start := time.Now()
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	hasher, err := lsh.Fit(points, lsh.Config{
+		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: lsh: %w", err)
+	}
+	sigma := cfg.Sigma
+	if sigma <= 0 {
+		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+
+	// ---- stage 1 ----
+	lshBlob, err := gobEncode(lshConf{Dims: hasher.Dimensions(), Thresholds: hasher.Thresholds()})
+	if err != nil {
+		return nil, err
+	}
+	lshJob, err := newShippedLSHJob(lshBlob)
+	if err != nil {
+		return nil, err
+	}
+	lshJob.Name = ShippedLSHJobName
+	lshJob.Conf = lshBlob
+	input := make([]mapreduce.Pair, n)
+	for i := 0; i < n; i++ {
+		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(points.Row(i))}
+	}
+	sigPairs, _, err := exec.Run(lshJob, input)
+	if err != nil {
+		return nil, fmt.Errorf("core: lsh stage: %w", err)
+	}
+	sigs := make([]uint64, n)
+	for _, p := range sigPairs {
+		sig, err := strconv.ParseUint(p.Key, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad signature %q: %w", p.Key, err)
+		}
+		idx := int(binary.LittleEndian.Uint32(p.Value))
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("core: index %d out of range", idx)
+		}
+		sigs[idx] = sig
+	}
+	part := lsh.PartitionSignatures(sigs, radius)
+
+	// ---- stage 2 ----
+	clusterBlob, err := gobEncode(clusterConf{N: n, K: cfg.K, Sigma: sigma, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	clusterJob, err := newShippedClusterJob(clusterBlob)
+	if err != nil {
+		return nil, err
+	}
+	clusterJob.Name = ShippedClusterJobName
+	clusterJob.Conf = clusterBlob
+	stage2 := make([]mapreduce.Pair, len(part.Buckets))
+	d := points.Cols()
+	for bi, b := range part.Buckets {
+		payload := bucketPayload{
+			Indices: make([]int32, len(b.Indices)),
+			Dims:    d,
+			Vectors: make([]float64, 0, len(b.Indices)*d),
+		}
+		for i, idx := range b.Indices {
+			payload.Indices[i] = int32(idx)
+			payload.Vectors = append(payload.Vectors, points.Row(idx)...)
+		}
+		blob, err := gobEncode(payload)
+		if err != nil {
+			return nil, err
+		}
+		stage2[bi] = mapreduce.Pair{Key: fmt.Sprintf("%016x", b.Signature), Value: blob}
+	}
+	labelPairs, _, err := exec.Run(clusterJob, stage2)
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster stage: %w", err)
+	}
+	return assembleLabels(labelPairs, n, cfg, radius, start)
+}
+
+// assembleLabels converts stage-2 output records into a Result; shared
+// with ClusterMapReduce's tail.
+func assembleLabels(labelPairs []mapreduce.Pair, n int, cfg Config, radius int, start time.Time) (*Result, error) {
+	res := &Result{Labels: make([]int, n), SignatureBits: cfg.M, MergeRadius: radius}
+	type bucketLabels struct {
+		sig    uint64
+		size   int
+		k      int
+		points [][2]int
+	}
+	var buckets []*bucketLabels
+	bySig := make(map[uint64]*bucketLabels)
+	for _, p := range labelPairs {
+		sig, err := strconv.ParseUint(p.Key, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad bucket key %q: %w", p.Key, err)
+		}
+		if len(p.Value) != 12 {
+			return nil, fmt.Errorf("core: label payload length %d", len(p.Value))
+		}
+		idx, local, k := decodeLabel(p.Value)
+		b, ok := bySig[sig]
+		if !ok {
+			b = &bucketLabels{sig: sig, k: k}
+			bySig[sig] = b
+			buckets = append(buckets, b)
+		}
+		b.points = append(b.points, [2]int{idx, local})
+		b.size++
+	}
+	sort.Slice(buckets, func(a, b int) bool { return buckets[a].sig < buckets[b].sig })
+	offset := 0
+	for _, b := range buckets {
+		for _, pl := range b.points {
+			if pl[0] < 0 || pl[0] >= n {
+				return nil, fmt.Errorf("core: label for out-of-range point %d", pl[0])
+			}
+			res.Labels[pl[0]] = offset + pl[1]
+		}
+		gb := 4 * int64(b.size) * int64(b.size)
+		res.Buckets = append(res.Buckets, BucketReport{
+			Signature: b.sig, Size: b.size, K: b.k, GramBytes: gb,
+		})
+		res.GramBytes += gb
+		offset += b.k
+	}
+	res.Clusters = offset
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

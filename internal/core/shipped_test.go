@@ -1,0 +1,191 @@
+package core
+
+import (
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+)
+
+func TestClusterMapReduceShippedMatchesLocal(t *testing.T) {
+	l := mixture(t, 160, 10, 3, 0.03, 50)
+	cfg := Config{K: 3, Seed: 51}
+	direct, err := Cluster(l.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := ClusterMapReduceShipped(l.Points, cfg, &mapreduce.Local{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, err := metrics.Accuracy(direct.Labels, shipped.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != 1 {
+		t.Fatalf("shipped driver disagrees with local: %v", agree)
+	}
+	if direct.GramBytes != shipped.GramBytes {
+		t.Fatalf("GramBytes %d vs %d", direct.GramBytes, shipped.GramBytes)
+	}
+}
+
+func TestClusterMapReduceShippedOverTCPSameProcess(t *testing.T) {
+	l := mixture(t, 120, 8, 2, 0.03, 52)
+	m, err := mapreduce.NewMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mapreduce.RunWorker(m.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	waitWorkers(t, m, 2)
+
+	res, err := ClusterMapReduceShipped(l.Points, Config{K: 2, Seed: 53}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.Accuracy(l.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	m.Close()
+	wg.Wait()
+}
+
+// TestClusterMapReduceShippedAcrossProcesses runs DASC with workers in
+// genuinely separate OS processes: the test re-executes its own binary
+// as worker processes (the standard helper-process pattern), which —
+// because the job factories carry everything through Conf and records —
+// must produce the same clustering as the in-process driver.
+func TestClusterMapReduceShippedAcrossProcesses(t *testing.T) {
+	if os.Getenv("DASC_WORKER_HELPER") == "1" {
+		// Helper mode: behave exactly like cmd/dascworker.
+		if err := mapreduce.RunWorker(os.Getenv("DASC_MASTER_ADDR")); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+
+	l := mixture(t, 150, 8, 3, 0.02, 54)
+	cfg := Config{K: 3, Seed: 55}
+	want, err := Cluster(l.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := mapreduce.NewMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(exe, "-test.run", "TestClusterMapReduceShippedAcrossProcesses")
+		cmd.Env = append(os.Environ(),
+			"DASC_WORKER_HELPER=1",
+			"DASC_MASTER_ADDR="+m.Addr(),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	waitWorkers(t, m, 2)
+
+	res, err := ClusterMapReduceShipped(l.Points, cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, err := metrics.Accuracy(want.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != 1 {
+		t.Fatalf("cross-process run disagrees with local: %v", agree)
+	}
+	m.Close()
+	for _, p := range procs {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("worker process: %v", err)
+		}
+	}
+}
+
+func waitWorkers(t *testing.T, m *mapreduce.Master, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.ConnectedWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not join")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestShippedCodecs(t *testing.T) {
+	v := []float64{1.5, -2.25, 0, 1e-9}
+	back, err := decodeVector(encodeVector(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if v[i] != back[i] {
+			t.Fatalf("vector round trip: %v -> %v", v, back)
+		}
+	}
+	if _, err := decodeVector([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected misaligned error")
+	}
+	if _, err := decodeVector(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestShippedJobFactoriesValidateConf(t *testing.T) {
+	if _, err := newShippedLSHJob([]byte("garbage")); err == nil {
+		t.Fatal("expected gob error")
+	}
+	blob, err := gobEncode(lshConf{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newShippedLSHJob(blob); err == nil {
+		t.Fatal("expected empty-conf error")
+	}
+	if _, err := newShippedClusterJob([]byte("garbage")); err == nil {
+		t.Fatal("expected gob error")
+	}
+	blob, err = gobEncode(clusterConf{N: 0, K: 1, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newShippedClusterJob(blob); err == nil {
+		t.Fatal("expected invalid-conf error")
+	}
+}

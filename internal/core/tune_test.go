@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTuneMPicksLargestSatisfyingM(t *testing.T) {
+	l := mixture(t, 600, 16, 8, 0.03, 80)
+	m, sweep, err := TuneM(l.Points, Config{Seed: 81}, 0.5, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// The chosen M must satisfy the floor; every larger swept M that
+	// satisfies it must not exceed the choice.
+	var chosen *TuneReport
+	for i := range sweep {
+		if sweep[i].M == m {
+			chosen = &sweep[i]
+		}
+	}
+	if chosen == nil {
+		t.Fatalf("chosen M=%d missing from sweep", m)
+	}
+	if chosen.FnormRatio < 0.5 {
+		t.Fatalf("chosen M=%d has ratio %v < floor", m, chosen.FnormRatio)
+	}
+	for _, r := range sweep {
+		if r.M > m && r.FnormRatio >= 0.5 {
+			t.Fatalf("M=%d also satisfies the floor but was not chosen over %d", r.M, m)
+		}
+	}
+	// Gram fraction must shrink (weakly) along the sweep overall: last
+	// below first.
+	if sweep[len(sweep)-1].GramFrac >= sweep[0].GramFrac {
+		t.Fatalf("gram fraction did not fall across the sweep: %+v", sweep)
+	}
+}
+
+func TestTuneMValidation(t *testing.T) {
+	l := mixture(t, 50, 4, 2, 0.05, 82)
+	if _, _, err := TuneM(l.Points, Config{}, 0, 100); err == nil {
+		t.Fatal("expected error for zero floor")
+	}
+	if _, _, err := TuneM(l.Points, Config{}, 1.5, 100); err == nil {
+		t.Fatal("expected error for floor > 1")
+	}
+	if _, _, err := TuneM(matrixOfSize(1, 2), Config{}, 0.5, 100); err == nil {
+		t.Fatal("expected error for single point")
+	}
+}
+
+func TestTuneMFeedsCluster(t *testing.T) {
+	l := mixture(t, 400, 12, 4, 0.03, 83)
+	m, _, err := TuneM(l.Points, Config{Seed: 84}, 0.4, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(l.Points, Config{K: 4, Seed: 84, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metricsAccuracy(l.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("tuned run accuracy = %v", acc)
+	}
+}

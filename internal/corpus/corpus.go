@@ -1,0 +1,354 @@
+// Package corpus synthesizes a category-structured document collection
+// that stands in for the paper's 3.5M-document Wikipedia crawl (§5.2).
+// Documents are emitted as small HTML pages over a Zipfian vocabulary
+// of pronounceable pseudo-English words; each category boosts its own
+// characteristic terms, so the downstream text pipeline (strip, stem,
+// tf-idf) recovers a clusterable vector representation with ground-
+// truth labels — the property the paper's Figure 3 accuracy metric
+// needs. The number of categories follows the paper's fitted law
+// K = 17(log2 N - 9) by default (Table 1 / Eq. 15).
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/text"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// NumDocs is the number of documents (required).
+	NumDocs int
+	// NumCategories overrides the Table 1 law when positive.
+	NumCategories int
+	// VocabSize is the background vocabulary size (default 2000).
+	VocabSize int
+	// TokensPerDoc is the mean document length in content tokens
+	// (default 80).
+	TokensPerDoc int
+	// CharTerms is the number of characteristic terms per category
+	// (default 12).
+	CharTerms int
+	// Focus is the probability that a token is drawn from the
+	// category's own vocabulary (characteristic or topic-hierarchy
+	// terms) rather than the background Zipf distribution (default 0.7).
+	Focus float64
+	// TopicWeight is the fraction of the Focus mass spent on the broad
+	// topic-hierarchy terms shared by category groups, as opposed to
+	// the category's characteristic leaf terms (default 0.4). Higher
+	// values make the broad terms rank higher under tf-idf, which is
+	// what gives the LSH front-end dense splitting dimensions.
+	TopicWeight float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Corpus is a generated document collection with ground truth.
+type Corpus struct {
+	// Docs holds raw HTML documents.
+	Docs []string
+	// Labels[i] is the category of Docs[i].
+	Labels []int
+	// Categories is the number of distinct categories.
+	Categories int
+	// CategoryNames mirrors Wikipedia's category titles.
+	CategoryNames []string
+}
+
+// Generate builds a corpus per the configuration.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: NumDocs=%d must be positive", cfg.NumDocs)
+	}
+	k := cfg.NumCategories
+	if k == 0 {
+		k = analytic.CategoryLaw(cfg.NumDocs)
+	}
+	if k < 1 || k > cfg.NumDocs {
+		return nil, fmt.Errorf("corpus: %d categories for %d docs", k, cfg.NumDocs)
+	}
+	if cfg.VocabSize == 0 {
+		cfg.VocabSize = 2000
+	}
+	if cfg.VocabSize < k {
+		return nil, fmt.Errorf("corpus: vocabulary %d smaller than category count %d", cfg.VocabSize, k)
+	}
+	if cfg.TokensPerDoc == 0 {
+		cfg.TokensPerDoc = 80
+	}
+	if cfg.TokensPerDoc < 1 {
+		return nil, fmt.Errorf("corpus: TokensPerDoc=%d", cfg.TokensPerDoc)
+	}
+	if cfg.CharTerms == 0 {
+		cfg.CharTerms = 12
+	}
+	if cfg.Focus == 0 {
+		cfg.Focus = 0.7
+	}
+	if cfg.Focus < 0 || cfg.Focus > 1 {
+		return nil, fmt.Errorf("corpus: Focus=%v out of [0,1]", cfg.Focus)
+	}
+	if cfg.TopicWeight == 0 {
+		cfg.TopicWeight = 0.55
+	}
+	if cfg.TopicWeight < 0 || cfg.TopicWeight > 1 {
+		return nil, fmt.Errorf("corpus: TopicWeight=%v out of [0,1]", cfg.TopicWeight)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := makeVocabulary(rng, cfg.VocabSize)
+	zipfW := zipfWeights(cfg.VocabSize)
+
+	// Characteristic terms: disjoint slices of the vocabulary so that
+	// categories do not share boosted terms. When the vocabulary is too
+	// small for full disjointness, wrap around.
+	charTerms := make([][]string, k)
+	names := make([]string, k)
+	for c := 0; c < k; c++ {
+		terms := make([]string, cfg.CharTerms)
+		for t := 0; t < cfg.CharTerms; t++ {
+			terms[t] = vocab[(c*cfg.CharTerms+t)%cfg.VocabSize]
+		}
+		charTerms[c] = terms
+		names[c] = "Category:" + capitalize(terms[0])
+	}
+
+	// Topic-hierarchy terms: Wikipedia categories live in a tree, and
+	// documents use the broad vocabulary of their ancestors as well as
+	// their leaf category's terms. Model the tree as 4-ary: level l
+	// contributes one of four broad terms according to the l-th base-4
+	// digit of the category index, so each broad term covers roughly a
+	// quarter of the corpus. Quarter-coverage terms keep enough inverse
+	// document frequency to rank high under tf-idf, which is what makes
+	// them the large-span dimensions the LSH front-end keys on — they
+	// are the "natural valleys" between category groups.
+	const fanout = 4
+	// Cap the hierarchy depth so a document's topic terms plus its
+	// characteristic terms stay within the F=11 terms the paper keeps:
+	// deeper trees would push topic terms out of the tf-idf top-F and
+	// turn the corresponding hash bits into noise. Cells of the capped
+	// tree may hold several leaf categories; separating those is the
+	// per-bucket clustering's job.
+	levels := levelsFor(k, fanout)
+	if levels > 3 {
+		levels = 3
+	}
+	topicTerms := make([][fanout]string, levels)
+	for l := 0; l < levels; l++ {
+		for d := 0; d < fanout; d++ {
+			topicTerms[l][d] = "topic" + vocab[(fanout*l+d)%cfg.VocabSize]
+		}
+	}
+
+	docs := make([]string, cfg.NumDocs)
+	labels := make([]int, cfg.NumDocs)
+	for i := 0; i < cfg.NumDocs; i++ {
+		c := i * k / cfg.NumDocs // balanced categories
+		labels[i] = c
+		var topics []string
+		code := c % pow(fanout, levels)
+		for l := 0; l < levels; l++ {
+			topics = append(topics, topicTerms[l][code%fanout])
+			code /= fanout
+		}
+		docs[i] = renderDoc(rng, cfg, names[c], charTerms[c], topics, vocab, zipfW)
+	}
+	return &Corpus{Docs: docs, Labels: labels, Categories: k, CategoryNames: names}, nil
+}
+
+// levelsFor returns the number of base-`fanout` digits needed to index
+// k categories, at least 1.
+func levelsFor(k, fanout int) int {
+	b, p := 1, fanout
+	for p < k {
+		p *= fanout
+		b++
+	}
+	return b
+}
+
+// pow is integer exponentiation for small arguments.
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// renderDoc emits one HTML document: a title, a summary paragraph of
+// category-focused tokens mixed with the category's topic-hierarchy
+// terms, and a sprinkling of stop words so the cleaning pipeline has
+// real work to do.
+func renderDoc(rng *rand.Rand, cfg Config, name string, char, topics []string, vocab []string, zipfW []float64) string {
+	// Document length jitters around the mean, and each document uses
+	// its own subset of the category's characteristic terms with its
+	// own focus — real articles in one category vary in vocabulary and
+	// topicality, and that intra-category spread is what produces
+	// signature diversity under LSH.
+	length := cfg.TokensPerDoc/2 + rng.Intn(cfg.TokensPerDoc+1)
+	if length < 1 {
+		length = 1
+	}
+	if len(char) > 4 {
+		subset := append([]string(nil), char...)
+		rng.Shuffle(len(subset), func(i, j int) { subset[i], subset[j] = subset[j], subset[i] })
+		keep := len(subset)/2 + rng.Intn(len(subset)/2+1)
+		char = subset[:keep]
+	}
+	focus := cfg.Focus * (0.85 + 0.3*rng.Float64())
+	if focus > 0.95 {
+		focus = 0.95
+	}
+	glue := []string{"the", "and", "of", "in", "with", "for"}
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(name)
+	sb.WriteString("</title><style>p{margin:0}</style></head><body><p>")
+	for t := 0; t < length; t++ {
+		if t > 0 {
+			sb.WriteByte(' ')
+		}
+		if rng.Float64() < 0.25 {
+			sb.WriteString(glue[rng.Intn(len(glue))])
+			sb.WriteByte(' ')
+		}
+		var word string
+		switch r := rng.Float64(); {
+		case r < focus*(1-cfg.TopicWeight):
+			word = char[rng.Intn(len(char))]
+		case r < focus:
+			word = topics[rng.Intn(len(topics))]
+		default:
+			word = vocab[sampleZipf(rng, zipfW)]
+		}
+		sb.WriteString(inflect(rng, word))
+	}
+	sb.WriteString(".</p></body></html>")
+	return sb.String()
+}
+
+// syllables used to build pronounceable vocabulary words.
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "cl", "dr", "gr", "pl", "st", "tr"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou"}
+	inflMap = []string{"", "", "", "s", "ing", "ed", "ly"}
+)
+
+// makeVocabulary builds n distinct pseudo-English stems.
+func makeVocabulary(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		var sb strings.Builder
+		syll := 2 + rng.Intn(2)
+		for s := 0; s < syll; s++ {
+			sb.WriteString(onsets[rng.Intn(len(onsets))])
+			sb.WriteString(nuclei[rng.Intn(len(nuclei))])
+		}
+		w := sb.String()
+		if text.IsStopWord(w) || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+// inflect appends a random inflection so the Porter stemmer has real
+// suffixes to strip; the stem stays the vocabulary word.
+func inflect(rng *rand.Rand, stem string) string {
+	return stem + inflMap[rng.Intn(len(inflMap))]
+}
+
+// capitalize upper-cases the first ASCII letter of a vocabulary word.
+func capitalize(s string) string {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+// zipfWeights returns unnormalized 1/rank weights.
+func zipfWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(i+1)
+	}
+	// Cumulative form for sampling.
+	for i := 1; i < n; i++ {
+		w[i] += w[i-1]
+	}
+	return w
+}
+
+// sampleZipf draws an index from the cumulative weights by binary search.
+func sampleZipf(rng *rand.Rand, cum []float64) int {
+	r := rng.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Vectorize runs the full text pipeline over the corpus and returns the
+// tf-idf vectors with ground-truth labels: Clean each document, keep
+// each document's top-f terms by tf-idf (the paper's F=11 scheme), and
+// embed every document in the union vocabulary of kept terms.
+func (c *Corpus) Vectorize(f int) (*dataset.Labeled, error) {
+	cleaned := make([][]string, len(c.Docs))
+	for i, d := range c.Docs {
+		cleaned[i] = text.Clean(d)
+	}
+	pts, _, err := text.VectorizeTopTerms(cleaned, f)
+	if err != nil {
+		return nil, err
+	}
+	labels := append([]int(nil), c.Labels...)
+	return &dataset.Labeled{Points: pts, Labels: labels}, nil
+}
+
+// VectorizeDense is Vectorize followed by a Gaussian random projection
+// to dims dense dimensions (L2-normalized rows). The paper represents
+// every document as a d = 11-dimensional point; the sparse
+// union-vocabulary embedding is projected down to the same kind of
+// dense low-dimensional representation — random projection is the
+// technique the paper itself singles out as best for high-dimensional
+// data clustering (§3.2, citing Fern & Brodley). Distances, and hence
+// both the clustering and the LSH span/threshold statistics, are
+// preserved in the Johnson–Lindenstrauss sense.
+func (c *Corpus) VectorizeDense(f, dims int, seed int64) (*dataset.Labeled, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("corpus: dims=%d", dims)
+	}
+	l, err := c.Vectorize(f)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5EED))
+	d := l.Points.Cols()
+	proj := matrix.NewDense(d, dims)
+	scale := 1 / math.Sqrt(float64(dims))
+	for i := range proj.Data() {
+		proj.Data()[i] = rng.NormFloat64() * scale
+	}
+	dense, err := matrix.Mul(l.Points, proj)
+	if err != nil {
+		return nil, err
+	}
+	matrix.NormalizeRows(dense)
+	return &dataset.Labeled{Points: dense, Labels: l.Labels}, nil
+}

@@ -1,0 +1,192 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/spectral"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{NumDocs: 0},
+		{NumDocs: 10, NumCategories: 11},
+		{NumDocs: 10, NumCategories: -1},
+		{NumDocs: 10, NumCategories: 2, VocabSize: 1},
+		{NumDocs: 10, TokensPerDoc: -5},
+		{NumDocs: 10, Focus: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 100, NumCategories: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 100 || len(c.Labels) != 100 {
+		t.Fatalf("docs=%d labels=%d", len(c.Docs), len(c.Labels))
+	}
+	if c.Categories != 5 || len(c.CategoryNames) != 5 {
+		t.Fatalf("categories=%d names=%d", c.Categories, len(c.CategoryNames))
+	}
+	counts := map[int]int{}
+	for _, l := range c.Labels {
+		counts[l]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("label values = %v", counts)
+	}
+	for l, n := range counts {
+		if n != 20 {
+			t.Fatalf("category %d has %d docs, want 20", l, n)
+		}
+	}
+}
+
+func TestGenerateDefaultsToCategoryLaw(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Categories != 17 { // K = 17(log2 1024 - 9) = 17
+		t.Fatalf("categories = %d, want 17", c.Categories)
+	}
+}
+
+func TestGenerateDocsAreHTML(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 5, NumCategories: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Docs {
+		if !strings.HasPrefix(d, "<html>") || !strings.Contains(d, "</body></html>") {
+			t.Fatalf("doc is not HTML: %.80s", d)
+		}
+		if !strings.Contains(d, "<title>Category:") {
+			t.Fatalf("doc missing category title: %.80s", d)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{NumDocs: 20, NumCategories: 3, Seed: 7})
+	b, _ := Generate(Config{NumDocs: 20, NumCategories: 3, Seed: 7})
+	for i := range a.Docs {
+		if a.Docs[i] != b.Docs[i] {
+			t.Fatal("same seed must reproduce documents")
+		}
+	}
+}
+
+func TestVectorizeSeparatesCategories(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 120, NumCategories: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Vectorize(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Points.Rows() != 120 {
+		t.Fatalf("rows = %d", l.Points.Rows())
+	}
+	// Mean within-category similarity must exceed cross-category.
+	var same, diff float64
+	var sameN, diffN int
+	for i := 0; i < 120; i += 2 {
+		for j := i + 1; j < 120; j += 3 {
+			dot := 0.0
+			for k := 0; k < l.Points.Cols(); k++ {
+				dot += l.Points.At(i, k) * l.Points.At(j, k)
+			}
+			if l.Labels[i] == l.Labels[j] {
+				same += dot
+				sameN++
+			} else {
+				diff += dot
+				diffN++
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Fatal("bad sampling")
+	}
+	if same/float64(sameN) <= diff/float64(diffN) {
+		t.Fatalf("within-category similarity %v must exceed cross %v",
+			same/float64(sameN), diff/float64(diffN))
+	}
+}
+
+func TestGenerateTopicWeightValidation(t *testing.T) {
+	if _, err := Generate(Config{NumDocs: 10, NumCategories: 2, TopicWeight: 1.5}); err == nil {
+		t.Fatal("expected error for TopicWeight > 1")
+	}
+	if _, err := Generate(Config{NumDocs: 10, NumCategories: 2, TopicWeight: -0.1}); err == nil {
+		t.Fatal("expected error for negative TopicWeight")
+	}
+}
+
+func TestLevelsForAndPow(t *testing.T) {
+	cases := []struct{ k, fanout, want int }{
+		{1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {16, 4, 2}, {17, 4, 3}, {64, 4, 3}, {65, 4, 4},
+	}
+	for _, c := range cases {
+		if got := levelsFor(c.k, c.fanout); got != c.want {
+			t.Errorf("levelsFor(%d,%d) = %d, want %d", c.k, c.fanout, got, c.want)
+		}
+	}
+	if pow(4, 3) != 64 || pow(2, 0) != 1 {
+		t.Fatal("pow broken")
+	}
+}
+
+func TestVectorizeDense(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 60, NumCategories: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.VectorizeDense(11, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Points.Rows() != 60 || l.Points.Cols() != 16 {
+		t.Fatalf("dims %dx%d", l.Points.Rows(), l.Points.Cols())
+	}
+	if _, err := c.VectorizeDense(11, 0, 1); err == nil {
+		t.Fatal("expected error for dims=0")
+	}
+}
+
+// Integration: the full text pipeline plus spectral clustering must
+// recover the categories with high accuracy — the property Figure 3
+// depends on.
+func TestEndToEndSpectralAccuracy(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 90, NumCategories: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Vectorize(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := kernel.MedianSigma(l.Points, 500, 1)
+	s := kernel.Gram(l.Points, kernel.Gaussian(sigma))
+	res, err := spectral.Cluster(s, spectral.Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := metrics.Accuracy(l.Labels, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("end-to-end accuracy = %v, want >= 0.9", acc)
+	}
+}

@@ -1,0 +1,151 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// Crawler walks a category-tree wiki exactly as the paper's crawler
+// walked Wikipedia: starting from the categories index page, it
+// recurses into CategoryTreeBullet links (sub-categories), expands
+// CategoryTreeEmptyBullet links (leaf categories), and downloads the
+// leaf documents.
+type Crawler struct {
+	// Client performs the HTTP requests (default http.DefaultClient
+	// with a 10s timeout).
+	Client *http.Client
+	// MaxPages bounds the crawl (default 100000).
+	MaxPages int
+}
+
+// Result is the downloaded corpus.
+type Result struct {
+	// Docs holds raw document HTML in download order.
+	Docs []string
+	// Paths[i] is the URL path Docs[i] was fetched from.
+	Paths []string
+	// LabelOf maps each document path to the leaf category page it was
+	// discovered on — the crawl-derived categorization that the paper
+	// treats as ground truth.
+	LabelOf map[string]string
+	// PagesFetched counts every HTTP request made.
+	PagesFetched int
+}
+
+var (
+	classedLink = regexp.MustCompile(`<li class="(` + markerTree + `|` + markerEmpty + `)"><a href="([^"]+)"`)
+	plainLink   = regexp.MustCompile(`<a href="([^"]+)"`)
+)
+
+// Crawl walks the site at baseURL starting from indexPath.
+func (c *Crawler) Crawl(baseURL, indexPath string) (*Result, error) {
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	maxPages := c.MaxPages
+	if maxPages == 0 {
+		maxPages = 100000
+	}
+
+	res := &Result{LabelOf: map[string]string{}}
+	fetch := func(path string) (string, error) {
+		if res.PagesFetched >= maxPages {
+			return "", errors.New("crawler: page budget exhausted")
+		}
+		res.PagesFetched++
+		resp, err := client.Get(baseURL + path)
+		if err != nil {
+			return "", fmt.Errorf("crawler: get %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("crawler: get %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		if err != nil {
+			return "", fmt.Errorf("crawler: read %s: %w", path, err)
+		}
+		return string(body), nil
+	}
+
+	visited := map[string]bool{}
+	// queue of category pages (tree or leaf); leaves carry their path
+	// as the label source.
+	type page struct {
+		path string
+		leaf bool
+	}
+	queue := []page{{path: indexPath}}
+	visited[indexPath] = true
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		body, err := fetch(cur.path)
+		if err != nil {
+			return nil, err
+		}
+		if cur.leaf {
+			// Leaf category page: every link is a document.
+			for _, m := range plainLink.FindAllStringSubmatch(body, -1) {
+				doc := m[1]
+				if visited[doc] {
+					continue
+				}
+				visited[doc] = true
+				content, err := fetch(doc)
+				if err != nil {
+					return nil, err
+				}
+				res.Docs = append(res.Docs, content)
+				res.Paths = append(res.Paths, doc)
+				res.LabelOf[doc] = cur.path
+			}
+			continue
+		}
+		// Tree page: classify links by their marker class.
+		for _, m := range classedLink.FindAllStringSubmatch(body, -1) {
+			marker, href := m[1], m[2]
+			if visited[href] {
+				continue
+			}
+			visited[href] = true
+			queue = append(queue, page{path: href, leaf: marker == markerEmpty})
+		}
+	}
+	// Deterministic order for downstream pipelines.
+	order := make([]int, len(res.Paths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return res.Paths[order[a]] < res.Paths[order[b]] })
+	docs := make([]string, len(order))
+	paths := make([]string, len(order))
+	for i, idx := range order {
+		docs[i] = res.Docs[idx]
+		paths[i] = res.Paths[idx]
+	}
+	res.Docs, res.Paths = docs, paths
+	return res, nil
+}
+
+// Labels converts the crawl-derived leaf assignments into dense integer
+// labels aligned with Docs, for the clustering metrics.
+func (r *Result) Labels() []int {
+	idx := map[string]int{}
+	out := make([]int, len(r.Paths))
+	for i, p := range r.Paths {
+		leaf := r.LabelOf[p]
+		if _, ok := idx[leaf]; !ok {
+			idx[leaf] = len(idx)
+		}
+		out[i] = idx[leaf]
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+)
+
+func makeCorpus(t *testing.T, docs, cats int) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{NumDocs: docs, NumCategories: cats, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewSiteValidation(t *testing.T) {
+	if _, err := NewSite(SiteConfig{}); err == nil {
+		t.Fatal("expected error for nil corpus")
+	}
+	c := makeCorpus(t, 10, 2)
+	if _, err := NewSite(SiteConfig{Corpus: c, Branching: 1}); err == nil {
+		t.Fatal("expected error for branching < 2")
+	}
+}
+
+func TestSiteStructure(t *testing.T) {
+	c := makeCorpus(t, 40, 5)
+	site, err := NewSite(SiteConfig{Corpus: c, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// index + tree pages + 5 category pages + 40 documents.
+	if site.Pages() < 1+5+40 {
+		t.Fatalf("pages = %d", site.Pages())
+	}
+	if len(site.DocCategory) != 40 {
+		t.Fatalf("doc categories = %d", len(site.DocCategory))
+	}
+	// The index must carry a tree marker.
+	base, stop := site.Start()
+	defer stop()
+	crawler := &Crawler{}
+	res, err := crawler.Crawl(base, site.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 40 {
+		t.Fatalf("crawled %d docs, want 40", len(res.Docs))
+	}
+}
+
+func TestCrawlRecoversGroundTruth(t *testing.T) {
+	c := makeCorpus(t, 60, 6)
+	site, err := NewSite(SiteConfig{Corpus: c, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stop := site.Start()
+	defer stop()
+
+	res, err := (&Crawler{}).Crawl(base, site.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crawl-derived labels must induce exactly the generator's
+	// categorization.
+	crawlLabels := res.Labels()
+	truth := make([]int, len(res.Paths))
+	for i, p := range res.Paths {
+		truth[i] = site.DocCategory[p]
+	}
+	acc, err := metrics.Accuracy(truth, crawlLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("crawl labels disagree with ground truth: %v", acc)
+	}
+	// Documents are raw corpus HTML.
+	for _, d := range res.Docs {
+		if !strings.HasPrefix(d, "<html>") {
+			t.Fatalf("crawled doc is not corpus HTML: %.60s", d)
+		}
+	}
+}
+
+func TestCrawlDegenerateSingleCategory(t *testing.T) {
+	c := makeCorpus(t, 8, 1)
+	site, err := NewSite(SiteConfig{Corpus: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stop := site.Start()
+	defer stop()
+	res, err := (&Crawler{}).Crawl(base, site.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 8 {
+		t.Fatalf("docs = %d", len(res.Docs))
+	}
+}
+
+func TestCrawlPageBudget(t *testing.T) {
+	c := makeCorpus(t, 30, 3)
+	site, err := NewSite(SiteConfig{Corpus: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stop := site.Start()
+	defer stop()
+	if _, err := (&Crawler{MaxPages: 3}).Crawl(base, site.IndexPath); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestCrawlBadServer(t *testing.T) {
+	if _, err := (&Crawler{}).Crawl("http://127.0.0.1:1", "/nope"); err == nil {
+		t.Fatal("expected connection error")
+	}
+	c := makeCorpus(t, 5, 1)
+	site, _ := NewSite(SiteConfig{Corpus: c})
+	base, stop := site.Start()
+	defer stop()
+	if _, err := (&Crawler{}).Crawl(base, "/missing"); err == nil {
+		t.Fatal("expected 404 error")
+	}
+}

@@ -1,0 +1,161 @@
+// Package crawler reproduces the paper's data-collection substrate
+// (§5.2): the authors wrote a crawler that started from Wikipedia's
+// Portal:Contents/Categories index page, walked the category tree
+// (distinguishing CategoryTreeBullet sub-category links from
+// CategoryTreeEmptyBullet leaf pages), and downloaded the leaf
+// documents. This package provides both sides: a Site that serves a
+// synthetic category-tree wiki over real HTTP (net/http on localhost),
+// and a Crawler that walks it breadth-first, classifies links exactly
+// as the paper describes, and returns the downloaded corpus with
+// ground-truth category labels.
+package crawler
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// SiteConfig controls the synthetic wiki.
+type SiteConfig struct {
+	// Corpus provides the leaf documents and category structure.
+	Corpus *corpus.Corpus
+	// Branching is the sub-categories per category-tree node (default 4).
+	Branching int
+	// Seed shuffles document placement.
+	Seed int64
+}
+
+// Site is an in-memory wiki: an index page, a tree of category pages,
+// and one HTML page per document. It implements http.Handler and can be
+// served with httptest or net/http.
+type Site struct {
+	pages map[string]string
+	// IndexPath is the crawl entry point, mirroring
+	// Portal:Contents/Categories.
+	IndexPath string
+	// DocCategory maps a document path to its ground-truth category.
+	DocCategory map[string]int
+}
+
+// markers mirror the two genres of sub-category links the paper's
+// crawler distinguished in Wikipedia's HTML.
+const (
+	markerTree  = "CategoryTreeBullet"      // link leads to more sub-categories
+	markerEmpty = "CategoryTreeEmptyBullet" // link leads to leaf documents
+)
+
+// NewSite lays the corpus documents out under a category tree. The tree
+// has one node per category; nodes are grouped under internal pages
+// with the configured branching factor.
+func NewSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Corpus == nil || len(cfg.Corpus.Docs) == 0 {
+		return nil, fmt.Errorf("crawler: empty corpus")
+	}
+	if cfg.Branching == 0 {
+		cfg.Branching = 4
+	}
+	if cfg.Branching < 2 {
+		return nil, fmt.Errorf("crawler: branching %d", cfg.Branching)
+	}
+	s := &Site{
+		pages:       map[string]string{},
+		IndexPath:   "/wiki/Portal:Contents/Categories",
+		DocCategory: map[string]int{},
+	}
+	c := cfg.Corpus
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Leaf category pages: list the documents of that category.
+	docsOf := make([][]int, c.Categories)
+	for i, lab := range c.Labels {
+		docsOf[lab] = append(docsOf[lab], i)
+	}
+	leafPaths := make([]string, c.Categories)
+	for cat := 0; cat < c.Categories; cat++ {
+		path := fmt.Sprintf("/wiki/Category:%d", cat)
+		leafPaths[cat] = path
+		var sb strings.Builder
+		sb.WriteString("<html><body><h1>" + c.CategoryNames[cat] + "</h1><ul>")
+		for _, doc := range docsOf[cat] {
+			docPath := fmt.Sprintf("/wiki/Doc:%d", doc)
+			fmt.Fprintf(&sb, `<li><a href="%s">doc %d</a></li>`, docPath, doc)
+			s.pages[docPath] = c.Docs[doc]
+			s.DocCategory[docPath] = cat
+		}
+		sb.WriteString("</ul></body></html>")
+		s.pages[path] = sb.String()
+	}
+
+	// Internal tree pages: group leaf categories under branches until a
+	// single root remains. Shuffle so the tree shape is not an artifact
+	// of category order.
+	order := rng.Perm(c.Categories)
+	level := make([]string, c.Categories)
+	kind := make([]string, c.Categories) // marker for the child link
+	for i, cat := range order {
+		level[i] = leafPaths[cat]
+		kind[i] = markerEmpty
+	}
+	depth := 0
+	for len(level) > 1 {
+		depth++
+		var next []string
+		var nextKind []string
+		for start := 0; start < len(level); start += cfg.Branching {
+			end := start + cfg.Branching
+			if end > len(level) {
+				end = len(level)
+			}
+			path := fmt.Sprintf("/wiki/Tree:%d-%d", depth, start/cfg.Branching)
+			var sb strings.Builder
+			sb.WriteString("<html><body><ul>")
+			for j := start; j < end; j++ {
+				fmt.Fprintf(&sb, `<li class="%s"><a href="%s">branch</a></li>`, kind[j], level[j])
+			}
+			sb.WriteString("</ul></body></html>")
+			s.pages[path] = sb.String()
+			next = append(next, path)
+			nextKind = append(nextKind, markerTree)
+		}
+		level, kind = next, nextKind
+	}
+	// Root index page.
+	var sb strings.Builder
+	sb.WriteString("<html><body><h1>Contents/Categories</h1><ul>")
+	rootMarker := markerTree
+	if kind[0] == markerEmpty {
+		// Degenerate single-category corpus: the root links straight to
+		// the one leaf page.
+		rootMarker = markerEmpty
+	}
+	fmt.Fprintf(&sb, `<li class="%s"><a href="%s">all categories</a></li>`, rootMarker, level[0])
+	sb.WriteString("</ul></body></html>")
+	s.pages[s.IndexPath] = sb.String()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	page, ok := s.pages[r.URL.Path]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+// Pages returns the number of pages served.
+func (s *Site) Pages() int { return len(s.pages) }
+
+// Start serves the site on a local test server and returns its base URL
+// and a shutdown function.
+func (s *Site) Start() (baseURL string, stop func()) {
+	srv := httptest.NewServer(s)
+	return srv.URL, srv.Close
+}

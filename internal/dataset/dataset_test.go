@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixtureDefaults(t *testing.T) {
+	l, err := Mixture(MixtureConfig{N: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Points.Rows() != 100 || l.Points.Cols() != 64 {
+		t.Fatalf("dims %dx%d, want 100x64", l.Points.Rows(), l.Points.Cols())
+	}
+	for _, v := range l.Points.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("value %v out of [0,1]", v)
+		}
+	}
+	seen := map[int]int{}
+	for _, lab := range l.Labels {
+		seen[lab]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("components = %d, want 4", len(seen))
+	}
+	for c, count := range seen {
+		if count != 25 {
+			t.Fatalf("component %d has %d points, want 25", c, count)
+		}
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	cases := []MixtureConfig{
+		{N: 0},
+		{N: 10, D: -1},
+		{N: 10, K: 11},
+		{N: 10, K: -2},
+		{N: 10, Noise: -0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := Mixture(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	a, _ := Mixture(MixtureConfig{N: 50, D: 8, K: 3, Seed: 9})
+	b, _ := Mixture(MixtureConfig{N: 50, D: 8, K: 3, Seed: 9})
+	for i := range a.Points.Data() {
+		if a.Points.Data()[i] != b.Points.Data()[i] {
+			t.Fatal("same seed must reproduce points")
+		}
+	}
+}
+
+func TestMixtureSeparation(t *testing.T) {
+	// With tiny noise, intra-component distances are far below
+	// inter-component ones for most pairs.
+	l, _ := Mixture(MixtureConfig{N: 60, D: 16, K: 2, Noise: 0.01, Seed: 3})
+	same, diff := 0.0, 0.0
+	var sameN, diffN int
+	for i := 0; i < 60; i += 3 {
+		for j := i + 1; j < 60; j += 3 {
+			d := 0.0
+			for c := 0; c < 16; c++ {
+				dv := l.Points.At(i, c) - l.Points.At(j, c)
+				d += dv * dv
+			}
+			if l.Labels[i] == l.Labels[j] {
+				same += d
+				sameN++
+			} else {
+				diff += d
+				diffN++
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Fatal("sampling covered only one label")
+	}
+	if same/float64(sameN) >= diff/float64(diffN) {
+		t.Fatal("intra-cluster distance must be below inter-cluster")
+	}
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	l, _ := Mixture(MixtureConfig{N: 30, D: 4, K: 3, Seed: 5})
+	type pair struct {
+		label int
+		first float64
+	}
+	before := map[pair]int{}
+	for i := 0; i < 30; i++ {
+		before[pair{l.Labels[i], l.Points.At(i, 0)}]++
+	}
+	l.Shuffle(7)
+	after := map[pair]int{}
+	for i := 0; i < 30; i++ {
+		after[pair{l.Labels[i], l.Points.At(i, 0)}]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed the multiset of (label, point) pairs")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("shuffle broke label-point association")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l, _ := Mixture(MixtureConfig{N: 20, D: 5, K: 2, Seed: 11})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Points.Rows() != 20 || back.Points.Cols() != 5 {
+		t.Fatalf("round-trip dims %dx%d", back.Points.Rows(), back.Points.Cols())
+	}
+	for i := range l.Labels {
+		if l.Labels[i] != back.Labels[i] {
+			t.Fatal("labels changed in round trip")
+		}
+	}
+	for i := range l.Points.Data() {
+		if l.Points.Data()[i] != back.Points.Data()[i] {
+			t.Fatal("points changed in round trip")
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"notanint,1.0\n",   // bad label
+		"0\n",              // too few fields
+		"0,abc\n",          // bad float
+		"0,1.0\n0,1.0,2\n", // ragged
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	l, err := ReadCSV(strings.NewReader("1,0.5\n\n2,0.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Points.Rows() != 2 || l.Labels[1] != 2 {
+		t.Fatalf("parsed %d rows, labels %v", l.Points.Rows(), l.Labels)
+	}
+}
+
+// Property: CSV round trip is the identity for arbitrary mixtures.
+func TestPropCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%50+50)%50 + 1
+		k := 1 + n%3
+		if k > n {
+			k = n
+		}
+		l, err := Mixture(MixtureConfig{N: n, D: 3, K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Points.Rows() != l.Points.Rows() {
+			return false
+		}
+		for i := range l.Labels {
+			if l.Labels[i] != back.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package emr simulates the Amazon Elastic MapReduce deployment of the
+// paper's §5.1: a cluster of nodes with task slots (Table 2), an S3-like
+// blob store for inputs and results, and job flows made of steps. The
+// simulator schedules real task workloads (e.g. DASC's per-bucket
+// spectral clustering, with costs measured or modeled from bucket
+// sizes) onto n nodes with an LPT greedy scheduler and reports the
+// simulated makespan and memory footprint — reproducing the elasticity
+// behaviour of Table 3 without renting a cluster.
+package emr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NodeConfig mirrors the Hadoop configuration of Table 2 plus the
+// m1.small instance geometry of §5.1.
+type NodeConfig struct {
+	JobTrackerHeapMB  int
+	NameNodeHeapMB    int
+	TaskTrackerHeapMB int
+	DataNodeHeapMB    int
+	MaxMapTasks       int
+	MaxReduceTasks    int
+	ReplicationFactor int
+	MemoryMB          int
+	DiskGB            int
+}
+
+// DefaultNodeConfig returns the exact values of Table 2 (and the
+// 1.7 GB / 350 GB m1.small geometry from §5.1).
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		JobTrackerHeapMB:  768,
+		NameNodeHeapMB:    256,
+		TaskTrackerHeapMB: 512,
+		DataNodeHeapMB:    256,
+		MaxMapTasks:       4,
+		MaxReduceTasks:    2,
+		ReplicationFactor: 3,
+		MemoryMB:          1700,
+		DiskGB:            350,
+	}
+}
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// Name identifies the task in reports.
+	Name string
+	// Cost is the simulated execution time in seconds on one slot.
+	Cost float64
+	// MemoryBytes is the task's resident footprint while running.
+	MemoryBytes int64
+}
+
+// Cluster is a simulated elastic cluster.
+type Cluster struct {
+	// Nodes is the instance count (the paper uses 16, 32, 64).
+	Nodes int
+	// Config is the per-node configuration.
+	Config NodeConfig
+}
+
+// NewCluster builds a cluster of n nodes with the Table 2 configuration.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("emr: cluster needs at least 1 node, got %d", n)
+	}
+	return &Cluster{Nodes: n, Config: DefaultNodeConfig()}, nil
+}
+
+// Slots returns the number of parallel task slots in the cluster
+// (map slots per node times nodes, per Table 2).
+func (c *Cluster) Slots() int {
+	s := c.Config.MaxMapTasks
+	if s < 1 {
+		s = 1
+	}
+	return s * c.Nodes
+}
+
+// Schedule is the outcome of placing tasks on the cluster.
+type Schedule struct {
+	// Makespan is the simulated wall-clock seconds until the last slot
+	// finishes.
+	Makespan float64
+	// SlotBusy[i] is the total busy time of slot i.
+	SlotBusy []float64
+	// NodeBusy[i] aggregates the busy time of node i's slots.
+	NodeBusy []float64
+	// Assignments[t] is the slot index task t ran on.
+	Assignments []int
+	// PeakNodeMemory is the largest simulated concurrent memory
+	// footprint of any node: the sum of its slots' biggest tasks.
+	PeakNodeMemory int64
+	// TotalMemory sums every task's footprint — the aggregate Gram
+	// storage the algorithm needs across the cluster.
+	TotalMemory int64
+}
+
+// ScheduleTasks places tasks with the classic LPT (longest processing
+// time first) greedy: sort by descending cost, assign each to the
+// least-loaded slot. LPT is within 4/3 of the optimal makespan, which
+// is accurate enough to study scaling shape.
+func (c *Cluster) ScheduleTasks(tasks []Task) *Schedule {
+	slots := c.Slots()
+	sched := &Schedule{
+		SlotBusy:    make([]float64, slots),
+		NodeBusy:    make([]float64, c.Nodes),
+		Assignments: make([]int, len(tasks)),
+	}
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return tasks[order[a]].Cost > tasks[order[b]].Cost })
+
+	// slotPeak[s] tracks the largest single task on each slot: slots run
+	// tasks sequentially, so a slot's concurrent footprint is its
+	// largest task.
+	slotPeak := make([]int64, slots)
+	for _, t := range order {
+		best := 0
+		for s := 1; s < slots; s++ {
+			if sched.SlotBusy[s] < sched.SlotBusy[best] {
+				best = s
+			}
+		}
+		sched.SlotBusy[best] += tasks[t].Cost
+		sched.Assignments[t] = best
+		if tasks[t].MemoryBytes > slotPeak[best] {
+			slotPeak[best] = tasks[t].MemoryBytes
+		}
+		sched.TotalMemory += tasks[t].MemoryBytes
+	}
+	perNode := slots / c.Nodes
+	for s, busy := range sched.SlotBusy {
+		node := s / perNode
+		sched.NodeBusy[node] += busy
+		if busy > sched.Makespan {
+			sched.Makespan = busy
+		}
+	}
+	var nodeMem int64
+	for n := 0; n < c.Nodes; n++ {
+		var sum int64
+		for s := n * perNode; s < (n+1)*perNode; s++ {
+			sum += slotPeak[s]
+		}
+		if sum > nodeMem {
+			nodeMem = sum
+		}
+	}
+	sched.PeakNodeMemory = nodeMem
+	return sched
+}
+
+// FailureReport quantifies the cost of losing a node mid-step.
+type FailureReport struct {
+	// OriginalMakespan is the no-failure makespan.
+	OriginalMakespan float64
+	// NewMakespan includes re-executing the failed node's tasks.
+	NewMakespan float64
+	// ReexecutedTasks counts the tasks that had to run again.
+	ReexecutedTasks int
+	// ReexecutedWork is their summed cost in seconds.
+	ReexecutedWork float64
+}
+
+// RescheduleAfterFailure models a Hadoop node failure: at time atTime
+// the given node dies, and — because a dead task-tracker's map output
+// is unreachable — every task that was assigned to it is re-executed on
+// the surviving nodes after they drain their own queues. Returns the
+// makespan inflation; errors if the cluster has a single node (no
+// survivors) or arguments are out of range.
+func (c *Cluster) RescheduleAfterFailure(tasks []Task, failedNode int, atTime float64) (*FailureReport, error) {
+	if c.Nodes < 2 {
+		return nil, errors.New("emr: failure simulation needs at least 2 nodes")
+	}
+	if failedNode < 0 || failedNode >= c.Nodes {
+		return nil, fmt.Errorf("emr: failed node %d of %d", failedNode, c.Nodes)
+	}
+	if atTime < 0 {
+		return nil, fmt.Errorf("emr: negative failure time %v", atTime)
+	}
+	base := c.ScheduleTasks(tasks)
+	rep := &FailureReport{OriginalMakespan: base.Makespan}
+
+	slots := c.Slots()
+	perNode := slots / c.Nodes
+	isFailedSlot := func(s int) bool { return s/perNode == failedNode }
+
+	// Collect the failed node's tasks and the survivors' availability.
+	var lost []float64
+	avail := make([]float64, 0, slots-perNode)
+	for s := 0; s < slots; s++ {
+		if isFailedSlot(s) {
+			continue
+		}
+		// A surviving slot keeps running its own queue; it can take
+		// re-executed work only after both its queue and the failure
+		// have happened.
+		a := base.SlotBusy[s]
+		if a < atTime {
+			a = atTime
+		}
+		avail = append(avail, a)
+	}
+	for ti, slot := range base.Assignments {
+		if isFailedSlot(slot) {
+			lost = append(lost, tasks[ti].Cost)
+			rep.ReexecutedTasks++
+			rep.ReexecutedWork += tasks[ti].Cost
+		}
+	}
+	// LPT the lost tasks onto the earliest-available surviving slots.
+	sort.Sort(sort.Reverse(sort.Float64Slice(lost)))
+	for _, cost := range lost {
+		best := 0
+		for s := 1; s < len(avail); s++ {
+			if avail[s] < avail[best] {
+				best = s
+			}
+		}
+		avail[best] += cost
+	}
+	rep.NewMakespan = rep.OriginalMakespan
+	for _, a := range avail {
+		if a > rep.NewMakespan {
+			rep.NewMakespan = a
+		}
+	}
+	return rep, nil
+}
+
+// Step is one stage of a job flow (the paper's flows are: LSH
+// partitioning, per-bucket spectral clustering, result collection).
+type Step struct {
+	Name  string
+	Tasks []Task
+}
+
+// JobFlow is an ordered list of steps run on a cluster, mirroring the
+// EMR job-flow abstraction of §5.1.
+type JobFlow struct {
+	Name  string
+	Steps []Step
+}
+
+// StepReport is the per-step outcome.
+type StepReport struct {
+	Name     string
+	Tasks    int
+	Makespan float64
+	Schedule *Schedule
+}
+
+// FlowReport aggregates a job flow run.
+type FlowReport struct {
+	Cluster   int
+	Steps     []StepReport
+	TotalTime float64
+	// PeakNodeMemory is the worst per-node footprint over all steps.
+	PeakNodeMemory int64
+	// TotalMemory is the largest aggregate footprint over steps.
+	TotalMemory int64
+}
+
+// RunJobFlow executes the steps sequentially (steps have a barrier
+// between them, as EMR steps do) and aggregates the reports.
+func (c *Cluster) RunJobFlow(flow *JobFlow) (*FlowReport, error) {
+	if flow == nil || len(flow.Steps) == 0 {
+		return nil, errors.New("emr: empty job flow")
+	}
+	rep := &FlowReport{Cluster: c.Nodes}
+	for _, step := range flow.Steps {
+		s := c.ScheduleTasks(step.Tasks)
+		rep.Steps = append(rep.Steps, StepReport{
+			Name:     step.Name,
+			Tasks:    len(step.Tasks),
+			Makespan: s.Makespan,
+			Schedule: s,
+		})
+		rep.TotalTime += s.Makespan
+		if s.PeakNodeMemory > rep.PeakNodeMemory {
+			rep.PeakNodeMemory = s.PeakNodeMemory
+		}
+		if s.TotalMemory > rep.TotalMemory {
+			rep.TotalMemory = s.TotalMemory
+		}
+	}
+	return rep, nil
+}
+
+// String renders the flow report as a small table.
+func (r *FlowReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "job flow on %d nodes: total %.2fs\n", r.Cluster, r.TotalTime)
+	for _, s := range r.Steps {
+		fmt.Fprintf(&sb, "  step %-24s tasks=%-5d makespan=%.2fs\n", s.Name, s.Tasks, s.Makespan)
+	}
+	return sb.String()
+}
+
+// BlobStore is an in-memory S3 stand-in used by job flows to exchange
+// inputs, intermediate buckets, and results. It is safe for concurrent
+// use.
+type BlobStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewBlobStore returns an empty store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{objects: make(map[string][]byte)}
+}
+
+// Put stores data under key, copying the bytes.
+func (b *BlobStore) Put(key string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.objects[key] = append([]byte(nil), data...)
+}
+
+// ErrNoObject is returned by Get for missing keys.
+var ErrNoObject = errors.New("emr: no such object")
+
+// Get returns a copy of the object at key.
+func (b *BlobStore) Get(key string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns the keys with the given prefix, sorted.
+func (b *BlobStore) List(prefix string) []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []string
+	for k := range b.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a key (idempotent).
+func (b *BlobStore) Delete(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.objects, key)
+}
+
+// Size returns the number of stored objects.
+func (b *BlobStore) Size() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.objects)
+}
+
+// Bytes returns the total stored payload size.
+func (b *BlobStore) Bytes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var total int64
+	for _, v := range b.objects {
+		total += int64(len(v))
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package emr
+
+import (
+	"strings"
+	"testing"
+)
+
+func storedFlowFixture() *StoredFlow {
+	return &StoredFlow{
+		Name: "dasc",
+		Steps: []StoredStep{
+			{
+				Step:   Step{Name: "lsh", Tasks: []Task{{Cost: 1, MemoryBytes: 100}}},
+				Reads:  []string{"input/points"},
+				Writes: []string{"buckets/0", "buckets/1"},
+			},
+			{
+				Step:   Step{Name: "cluster", Tasks: []Task{{Cost: 2, MemoryBytes: 400}}},
+				Reads:  []string{"buckets/"},
+				Writes: []string{"results/labels"},
+			},
+		},
+	}
+}
+
+func TestRunStoredFlow(t *testing.T) {
+	c, _ := NewCluster(2)
+	store := NewBlobStore()
+	store.Put("input/points", []byte("csv"))
+	rep, err := c.RunStoredFlow(storedFlowFixture(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalTime != 3 {
+		t.Fatalf("total = %v", rep.TotalTime)
+	}
+	// Outputs must be visible in the store afterwards.
+	if _, err := store.Get("results/labels"); err != nil {
+		t.Fatal("results not published")
+	}
+	if len(store.List("buckets/")) != 2 {
+		t.Fatalf("buckets = %v", store.List("buckets/"))
+	}
+	if rep.BytesWritten == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestRunStoredFlowMissingInput(t *testing.T) {
+	c, _ := NewCluster(2)
+	store := NewBlobStore() // input/points never uploaded
+	_, err := c.RunStoredFlow(storedFlowFixture(), store)
+	if err == nil || !strings.Contains(err.Error(), "input/points") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunStoredFlowEmptyPrefix(t *testing.T) {
+	c, _ := NewCluster(2)
+	store := NewBlobStore()
+	store.Put("input/points", []byte("csv"))
+	flow := storedFlowFixture()
+	flow.Steps[0].Writes = nil // stage 1 publishes nothing
+	_, err := c.RunStoredFlow(flow, store)
+	if err == nil || !strings.Contains(err.Error(), "buckets/") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunStoredFlowValidation(t *testing.T) {
+	c, _ := NewCluster(1)
+	if _, err := c.RunStoredFlow(nil, NewBlobStore()); err == nil {
+		t.Fatal("expected empty-flow error")
+	}
+	if _, err := c.RunStoredFlow(&StoredFlow{Steps: []StoredStep{{}}}, nil); err == nil {
+		t.Fatal("expected nil-store error")
+	}
+}

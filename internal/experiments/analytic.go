@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/corpus"
+	"repro/internal/emr"
+)
+
+// Figure1 regenerates the paper's Figure 1: the closed-form DASC vs SC
+// processing time (a) and memory (b) for datasets of 2^20..2^29 points,
+// with beta = 50us and C = 1024 nodes, both axes log2 as in the paper.
+func Figure1() *Table {
+	m := analytic.DefaultModel()
+	t := &Table{
+		ID:      "Figure 1",
+		Caption: "analytical scalability of DASC vs SC (beta=50us, C=1024)",
+		Headers: []string{
+			"log2(N)", "DASC time (h)", "SC time (h)",
+			"log2 DASC t", "log2 SC t",
+			"DASC mem (KB)", "SC mem (KB)", "log2 DASC KB", "log2 SC KB",
+		},
+	}
+	for exp := 20; exp <= 29; exp++ {
+		n := float64(int64(1) << uint(exp))
+		dt, st := analytic.Hours(m.DASCTime(n)), analytic.Hours(m.SCTime(n))
+		dm, sm := m.DASCMemory(n)/1024, m.SCMemory(n)/1024
+		t.Rows = append(t.Rows, []string{
+			f("%d", exp),
+			f("%.3g", dt), f("%.3g", st),
+			f("%.2f", analytic.Log2(dt)), f("%.2f", analytic.Log2(st)),
+			f("%.3g", dm), f("%.3g", sm),
+			f("%.2f", analytic.Log2(dm)), f("%.2f", analytic.Log2(sm)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"sub-quadratic growth for DASC on both axes; gap widens with N (paper Fig 1)")
+	return t
+}
+
+// Figure2 regenerates Figure 2: collision probability (Eq. 18-19)
+// versus the number of hash functions M for dataset sizes 1M..1G, r=5.
+func Figure2() *Table {
+	t := &Table{
+		ID:      "Figure 2",
+		Caption: "impact of M on collision probability (Eqs. 18-19, r=5)",
+		Headers: []string{"M"},
+	}
+	sizes := []int{20, 21, 22, 23, 24, 25, 26, 27, 28, 30} // 1M..1G as exponents
+	for _, e := range sizes {
+		t.Headers = append(t.Headers, f("N=2^%d", e))
+	}
+	for mBits := 5; mBits <= 35; mBits += 2 {
+		row := []string{f("%d", mBits)}
+		for _, e := range sizes {
+			p := analytic.CollisionProbability(float64(int64(1)<<uint(e)), 5, mBits)
+			row = append(row, f("%.4f", p))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"probability decreases sub-linearly in M (paper Fig 2)",
+		"Eq. 19 makes p rise slightly with N at fixed M; the paper's prose claims the opposite of its own equation — see EXPERIMENTS.md")
+	return t
+}
+
+// Table1 regenerates Table 1: dataset size versus number of categories,
+// comparing the paper's reported counts with the fitted law (Eq. 15)
+// and with the categories our Wikipedia-stand-in generator emits.
+func Table1() *Table {
+	paper := []struct{ n, categories int }{
+		{1024, 17}, {2048, 31}, {4096, 61}, {8192, 96}, {16384, 201},
+		{32768, 330}, {65536, 587}, {131072, 1225}, {262144, 2825},
+		{524288, 5535}, {1048576, 14237}, {2097152, 42493},
+	}
+	t := &Table{
+		ID:      "Table 1",
+		Caption: "clustering information of the Wikipedia dataset",
+		Headers: []string{"dataset size", "paper categories", "Eq.15 law", "generator categories"},
+	}
+	for _, row := range paper {
+		gen := "-"
+		if row.n <= 16384 {
+			c, err := corpus.Generate(corpus.Config{NumDocs: row.n, Seed: 1, VocabSize: 8192})
+			if err == nil {
+				gen = f("%d", c.Categories)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", row.n), f("%d", row.categories),
+			f("%d", analytic.CategoryLaw(row.n)), gen,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the law is the paper's own line fit; its table deviates from the fit at the large end")
+	return t
+}
+
+// Table2 reports the simulated cluster configuration, which matches the
+// paper's Table 2 verbatim.
+func Table2() *Table {
+	cfg := emr.DefaultNodeConfig()
+	return &Table{
+		ID:      "Table 2",
+		Caption: "setup of the (simulated) Elastic MapReduce cluster",
+		Headers: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"Hadoop jobtracker heapsize", f("%d MB", cfg.JobTrackerHeapMB)},
+			{"Hadoop namenode heapsize", f("%d MB", cfg.NameNodeHeapMB)},
+			{"Hadoop tasktracker heapsize", f("%d MB", cfg.TaskTrackerHeapMB)},
+			{"Hadoop datanode heapsize", f("%d MB", cfg.DataNodeHeapMB)},
+			{"Maximum map tasks in tasktracker", f("%d", cfg.MaxMapTasks)},
+			{"Maximum reduce tasks in tasktracker", f("%d", cfg.MaxReduceTasks)},
+			{"Data replication ratio in DFS", f("%d", cfg.ReplicationFactor)},
+			{"Instance memory", f("%.1f GB", float64(cfg.MemoryMB)/1000)},
+			{"Instance disk", f("%d GB", cfg.DiskGB)},
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	tab := Figure1()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (2^20..2^29)", len(tab.Rows))
+	}
+	// DASC hours (col 1) must stay below SC hours (col 2) everywhere.
+	for _, row := range tab.Rows {
+		dasc, err1 := strconv.ParseFloat(row[1], 64)
+		sc, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		if dasc >= sc {
+			t.Fatalf("DASC %v >= SC %v", dasc, sc)
+		}
+	}
+	if tab.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tab := Figure2()
+	if len(tab.Rows) == 0 || len(tab.Headers) < 5 {
+		t.Fatalf("table too small: %d rows", len(tab.Rows))
+	}
+	// Probabilities decrease down every column.
+	for col := 1; col < len(tab.Headers); col++ {
+		prev := 2.0
+		for _, row := range tab.Rows {
+			p, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > prev {
+				t.Fatalf("column %d not decreasing", col)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestTable1MatchesLaw(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "17" || tab.Rows[0][2] != "17" {
+		t.Fatalf("1024-doc row = %v", tab.Rows[0])
+	}
+	// Generator count equals the law wherever it ran.
+	for _, row := range tab.Rows {
+		if row[3] != "-" && row[3] != row[2] {
+			t.Fatalf("generator diverges from law: %v", row)
+		}
+	}
+}
+
+func TestTable2MirrorsPaper(t *testing.T) {
+	tab := Table2()
+	s := tab.String()
+	for _, want := range []string{"768 MB", "256 MB", "512 MB", "4", "2", "3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	tab, err := Figure3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		dasc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad DASC cell %q", row[2])
+		}
+		if dasc < 0.85 {
+			t.Fatalf("DASC accuracy %v below the paper's >0.9 band (row %v)", dasc, row)
+		}
+		sc, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad SC cell %q", row[3])
+		}
+		if sc < 0.85 {
+			t.Fatalf("SC accuracy %v too low", sc)
+		}
+	}
+}
+
+func TestFigure4Quick(t *testing.T) {
+	tab, err := Figure4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		dascDBI, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		// The paper's DASC DBI stays in roughly [1, 1.3] on synthetic
+		// data; allow a wide band but catch degenerate clusterings.
+		if dascDBI <= 0 || dascDBI > 3 {
+			t.Fatalf("DASC DBI = %v implausible", dascDBI)
+		}
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	tab, err := Figure5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios are in (0, 1] and fall as M grows for a fixed N.
+	var prev float64 = 2
+	var prevN string
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio <= 0 || ratio > 1.000001 {
+			t.Fatalf("ratio %v out of (0,1]", ratio)
+		}
+		if row[0] == prevN && ratio > prev+1e-9 {
+			t.Fatalf("ratio did not decrease with M at N=%s", row[0])
+		}
+		prev, prevN = ratio, row[0]
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	tab, err := Figure6(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		dascMem, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad mem cell %q", row[4])
+		}
+		scMem, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad mem cell %q", row[5])
+		}
+		if dascMem >= scMem {
+			t.Fatalf("DASC memory %v not below SC %v", dascMem, scMem)
+		}
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	tab, err := Table3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Memory row must be identical across node counts.
+	mem := tab.Rows[1]
+	if mem[1] != mem[2] || mem[2] != mem[3] {
+		t.Fatalf("memory varies with nodes: %v", mem)
+	}
+	// Time must not increase with node count (64 fastest).
+	times := tab.Rows[2]
+	t64 := parseSeconds(t, times[1])
+	t32 := parseSeconds(t, times[2])
+	t16 := parseSeconds(t, times[3])
+	if t64 > t32 || t32 > t16 {
+		t.Fatalf("time ordering broken: %v", times)
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	tab, err := Ablations(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The M sweep must show gram fraction falling as M grows.
+	var prev float64 = 2
+	for _, row := range tab.Rows {
+		if row[0] != "signature-bits" {
+			continue
+		}
+		gf, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gf > prev+1e-9 {
+			t.Fatalf("gram fraction rose along the M sweep: %v", tab.Rows)
+		}
+		prev = gf
+	}
+	// Every accuracy cell parses and is in (0,1].
+	for _, row := range tab.Rows {
+		acc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || acc <= 0 || acc > 1 {
+			t.Fatalf("bad accuracy cell %q", row[2])
+		}
+	}
+}
+
+func TestFigure2MeasuredQuick(t *testing.T) {
+	tab, err := Figure2Measured(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collision probability must not rise as M grows, and must start
+	// high at the smallest M.
+	prev := 2.0
+	for _, row := range tab.Rows {
+		p, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p = %v", p)
+		}
+		if p > prev+0.05 { // small sampling tolerance
+			t.Fatalf("collision probability rose with M: %v", tab.Rows)
+		}
+		prev = p
+	}
+	first, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	if first < 0.5 {
+		t.Fatalf("small-M collision probability = %v, expected high", first)
+	}
+}
+
+func TestLocalityQuick(t *testing.T) {
+	tab, err := Locality(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// For every node count, the slacked schedule must have at least as
+	// many local tasks and no more network traffic than the strict one.
+	for i := 0; i < len(tab.Rows); i += 2 {
+		strictLocal, _ := strconv.Atoi(tab.Rows[i][2])
+		slackLocal, _ := strconv.Atoi(tab.Rows[i+1][2])
+		if slackLocal < strictLocal {
+			t.Fatalf("slack reduced locality: %v vs %v", tab.Rows[i], tab.Rows[i+1])
+		}
+		strictNet, _ := strconv.ParseFloat(tab.Rows[i][4], 64)
+		slackNet, _ := strconv.ParseFloat(tab.Rows[i+1][4], 64)
+		if slackNet > strictNet {
+			t.Fatalf("slack increased network traffic")
+		}
+	}
+}
+
+func parseSeconds(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+	if err != nil {
+		t.Fatalf("bad time cell %q", s)
+	}
+	return v
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAnalyticGolden pins the deterministic analytic artifacts
+// (Figure 1 and Table 2) byte-for-byte against a checked-in golden
+// file, so any change to the closed-form models or the table renderer
+// is caught as a diff rather than discovered in a rerun of the paper
+// comparison. Regenerate with:
+//
+//	go run ./cmd/experiments -only fig1,table2 \
+//	  > internal/experiments/testdata/analytic_golden.txt
+func TestAnalyticGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "analytic_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Figure1().String() + Table2().String()
+	if string(want) != got {
+		t.Fatalf("analytic output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4–§5). Each experiment returns a Table whose
+// rows mirror the series the paper plots, so the output can be compared
+// against the published curves point by point. The same functions back
+// cmd/experiments and the repository's benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects the dataset sizes an experiment runs at. The paper's
+// largest configurations (multi-million points, multi-hour cluster
+// runs) are scaled down to single-machine sizes; Quick is used by the
+// test/bench suite, Full by cmd/experiments.
+type Scale int
+
+const (
+	// Quick runs in seconds; used in benchmarks and smoke tests.
+	Quick Scale = iota
+	// Full runs in minutes and covers wider size ranges.
+	Full
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID names the paper artifact, e.g. "Figure 3".
+	ID string
+	// Caption restates what the paper shows.
+	Caption string
+	// Headers label the columns.
+	Headers []string
+	// Rows hold the measured series.
+	Rows [][]string
+	// Notes records scale substitutions and observed deviations.
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func f(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,211 @@
+// Package kernel builds Gram (similarity) matrices: the full O(N^2)
+// matrix used by the SC baseline and the paper's per-bucket approximated
+// matrices (DASC step 3). The Gaussian RBF of Eq. 1 is the default
+// kernel; the bandwidth can be fixed or derived from the data by the
+// median-distance heuristic.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Func is a positive-semidefinite similarity kernel over point pairs.
+type Func func(x, y []float64) float64
+
+// Gaussian returns the RBF kernel of Eq. 1 with bandwidth sigma:
+// exp(-||x-y||^2 / (2 sigma^2)). It panics if sigma <= 0.
+func Gaussian(sigma float64) Func {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("kernel: sigma %v must be positive", sigma))
+	}
+	inv := 1 / (2 * sigma * sigma)
+	return func(x, y []float64) float64 {
+		return math.Exp(-matrix.SqDist(x, y) * inv)
+	}
+}
+
+// Polynomial returns the kernel (gamma <x,y> + c)^degree, the second
+// classic positive-semidefinite kernel after the RBF. degree must be a
+// positive integer, gamma positive.
+func Polynomial(degree int, gamma, c float64) Func {
+	if degree < 1 || gamma <= 0 {
+		panic(fmt.Sprintf("kernel: polynomial degree %d gamma %v", degree, gamma))
+	}
+	return func(x, y []float64) float64 {
+		base := gamma*matrix.Dot(x, y) + c
+		out := 1.0
+		for i := 0; i < degree; i++ {
+			out *= base
+		}
+		return out
+	}
+}
+
+// Cosine returns the cosine-similarity kernel <x,y>/(|x||y|), the
+// natural choice for the tf-idf document vectors of §5.2 (where rows
+// are unit length it reduces to the dot product). Zero vectors yield 0.
+func Cosine() Func {
+	return func(x, y []float64) float64 {
+		nx, ny := matrix.Norm2(x), matrix.Norm2(y)
+		if nx == 0 || ny == 0 {
+			return 0
+		}
+		return matrix.Dot(x, y) / (nx * ny)
+	}
+}
+
+// MedianSigma estimates a bandwidth as the median pairwise distance of
+// a random sample of the data — the standard heuristic when the paper's
+// fixed sigma is not supplied. sampleSize caps the pairs examined.
+func MedianSigma(points *matrix.Dense, sampleSize int, seed int64) float64 {
+	n := points.Rows()
+	if n < 2 {
+		return 1
+	}
+	if sampleSize <= 0 {
+		sampleSize = 256
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var dists []float64
+	pairs := sampleSize
+	if max := n * (n - 1) / 2; pairs > max {
+		pairs = max
+	}
+	for len(dists) < pairs {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		dists = append(dists, matrix.Dist(points.Row(i), points.Row(j)))
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med <= 0 {
+		return 1
+	}
+	return med
+}
+
+// Gram computes the full N x N similarity matrix with zero diagonal,
+// matching the paper's reducer (Algorithm 2 sets S[i,i] = 0, the
+// standard spectral-clustering convention of Ng et al.). Rows are
+// computed in parallel.
+func Gram(points *matrix.Dense, k Func) *matrix.Dense {
+	n := points.Rows()
+	s := matrix.NewDense(n, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				xi := points.Row(i)
+				row := s.Row(i)
+				for j := i + 1; j < n; j++ {
+					row[j] = k(xi, points.Row(j))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Mirror the upper triangle.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.Set(j, i, s.At(i, j))
+		}
+	}
+	return s
+}
+
+// GramWithDiagonal computes the full similarity matrix including the
+// self-similarities k(x,x) on the diagonal. Spectral clustering uses
+// the zero-diagonal Gram; kernel machines like SVM and kernel PCA need
+// the true diagonal (SMO's curvature term 2K(i,j)-K(i,i)-K(j,j) is
+// never negative without it).
+func GramWithDiagonal(points *matrix.Dense, k Func) *matrix.Dense {
+	s := Gram(points, k)
+	for i := 0; i < points.Rows(); i++ {
+		s.Set(i, i, k(points.Row(i), points.Row(i)))
+	}
+	return s
+}
+
+// SubGram computes the similarity matrix restricted to the points whose
+// dataset rows are listed in indices — one DASC bucket's portion of the
+// approximated Gram matrix.
+func SubGram(points *matrix.Dense, indices []int, k Func) *matrix.Dense {
+	n := len(indices)
+	s := matrix.NewDense(n, n)
+	for a := 0; a < n; a++ {
+		xa := points.Row(indices[a])
+		for b := a + 1; b < n; b++ {
+			v := k(xa, points.Row(indices[b]))
+			s.Set(a, b, v)
+			s.Set(b, a, v)
+		}
+	}
+	return s
+}
+
+// ErrIndexRange reports a bucket index outside the dataset.
+var ErrIndexRange = errors.New("kernel: bucket index out of range")
+
+// ApproxGram assembles the full-size N x N block-diagonal approximation
+// of the Gram matrix implied by a bucket partition: similarities are
+// computed only within buckets and cross-bucket entries stay zero. It
+// exists for the Frobenius-norm comparison of Figure 5; the production
+// DASC path never materializes it.
+func ApproxGram(points *matrix.Dense, buckets [][]int, k Func) (*matrix.Dense, error) {
+	n := points.Rows()
+	s := matrix.NewDense(n, n)
+	for _, idxs := range buckets {
+		for _, i := range idxs {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("%w: %d with N=%d", ErrIndexRange, i, n)
+			}
+		}
+		for a := 0; a < len(idxs); a++ {
+			xa := points.Row(idxs[a])
+			for b := a + 1; b < len(idxs); b++ {
+				v := k(xa, points.Row(idxs[b]))
+				s.Set(idxs[a], idxs[b], v)
+				s.Set(idxs[b], idxs[a], v)
+			}
+		}
+	}
+	return s, nil
+}
+
+// GramBytes returns the storage cost, in bytes, of a dense N x N Gram
+// matrix at the paper's single-precision 4 bytes per entry (Eq. 12).
+func GramBytes(n int) int64 { return 4 * int64(n) * int64(n) }
+
+// ApproxGramBytes returns the storage cost of the bucketed
+// approximation: 4 * sum Ni^2 bytes.
+func ApproxGramBytes(bucketSizes []int) int64 {
+	var total int64
+	for _, n := range bucketSizes {
+		total += 4 * int64(n) * int64(n)
+	}
+	return total
+}

@@ -1,0 +1,190 @@
+package kernelml
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/lsh"
+	"repro/internal/matrix"
+)
+
+// This file composes the kernel algorithms with the DASC bucket
+// partition, the same way internal/core composes spectral clustering:
+// the LSH front-end shrinks the Gram matrix to per-bucket blocks and
+// the kernel algorithm runs independently per bucket. It demonstrates
+// the paper's claim that the approximation is algorithm-independent.
+
+// BucketedKernelKMeans runs kernel k-means inside every bucket of the
+// partition, allocating the global cluster budget k proportionally.
+// Returned labels are globally unique across buckets.
+func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int, seed int64) ([]int, int, error) {
+	n := points.Rows()
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("kernelml: K=%d with %d points", k, n)
+	}
+	labels := make([]int, n)
+	offset := 0
+	for _, b := range part.Buckets {
+		ni := len(b.Indices)
+		ki := proportionalK(k, ni, n)
+		if ki >= ni {
+			for pos, idx := range b.Indices {
+				labels[idx] = offset + pos
+			}
+			offset += ni
+			continue
+		}
+		sub := kernel.SubGram(points, b.Indices, kf)
+		res, err := KernelKMeans(sub, KernelKMeansConfig{K: ki, Seed: seed + int64(b.Signature)})
+		if err != nil {
+			return nil, 0, fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
+		}
+		for pos, idx := range b.Indices {
+			labels[idx] = offset + res.Labels[pos]
+		}
+		offset += ki
+	}
+	return labels, offset, nil
+}
+
+// BucketedKernelPCA computes k kernel principal components inside every
+// bucket and returns the n x k embedding (rows of points outside any
+// bucket stay zero, which cannot happen for a partition that covers the
+// dataset). Component axes are per-bucket, as the Gram approximation
+// has no cross-bucket similarities by construction.
+func BucketedKernelPCA(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int) (*matrix.Dense, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kernelml: k=%d", k)
+	}
+	out := matrix.NewDense(points.Rows(), k)
+	for _, b := range part.Buckets {
+		if len(b.Indices) == 1 {
+			continue // a singleton has no variance to decompose
+		}
+		sub := kernel.SubGram(points, b.Indices, kf)
+		for i := range b.Indices {
+			sub.Set(i, i, kf(points.Row(b.Indices[i]), points.Row(b.Indices[i])))
+		}
+		res, err := KernelPCA(sub, k)
+		if err != nil {
+			return nil, fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
+		}
+		for pos, idx := range b.Indices {
+			copy(out.Row(idx), res.Projections.Row(pos))
+		}
+	}
+	return out, nil
+}
+
+// BucketedSVM is a locality-sensitive SVM ensemble: one binary SVM per
+// bucket, each trained on its bucket's (diagonal-complete) sub-Gram.
+// At prediction time the LSH family routes the query to its bucket's
+// model — training cost falls from O(N^2) kernel entries to
+// sum(Ni^2), mirroring DASC's clustering savings.
+type BucketedSVM struct {
+	family lsh.Family
+	points *matrix.Dense
+	kf     kernel.Func
+	models map[uint64]*bucketModel
+	// Fallback handles signatures never seen in training: the model of
+	// the nearest training signature by Hamming distance.
+	signatures []uint64
+}
+
+type bucketModel struct {
+	svm     *SVM
+	indices []int
+}
+
+// TrainBucketedSVM trains the per-bucket ensemble. y must be -1/+1 per
+// training point. Buckets whose labels are single-class get a trivial
+// constant model (SVM with no support vectors and bias = the class).
+func TrainBucketedSVM(points *matrix.Dense, y []int, family lsh.Family, kf kernel.Func, cfg SVMConfig) (*BucketedSVM, error) {
+	n := points.Rows()
+	if len(y) != n {
+		return nil, fmt.Errorf("kernelml: %d labels for %d points", len(y), n)
+	}
+	part := lsh.PartitionWith(family, points, 1)
+	ens := &BucketedSVM{
+		family: family,
+		points: points,
+		kf:     kf,
+		models: make(map[uint64]*bucketModel, len(part.Buckets)),
+	}
+	for _, b := range part.Buckets {
+		ens.signatures = append(ens.signatures, b.Signature)
+		subY := make([]int, len(b.Indices))
+		pos, neg := 0, 0
+		for i, idx := range b.Indices {
+			subY[i] = y[idx]
+			if y[idx] > 0 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos == 0 || neg == 0 {
+			// Single-class bucket: constant decision.
+			bias := 1.0
+			if pos == 0 {
+				bias = -1
+			}
+			ens.models[b.Signature] = &bucketModel{
+				svm:     &SVM{Alpha: map[int]float64{}, B: bias, Labels: subY},
+				indices: b.Indices,
+			}
+			continue
+		}
+		sub := kernel.SubGram(points, b.Indices, kf)
+		for i := range b.Indices {
+			sub.Set(i, i, kf(points.Row(b.Indices[i]), points.Row(b.Indices[i])))
+		}
+		svm, err := TrainSVM(sub, subY, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
+		}
+		ens.models[b.Signature] = &bucketModel{svm: svm, indices: b.Indices}
+	}
+	return ens, nil
+}
+
+// Predict routes x to its bucket's SVM (nearest training signature by
+// Hamming distance when the exact signature was never seen).
+func (e *BucketedSVM) Predict(x []float64) int {
+	sig := e.family.Signature(x)
+	m, ok := e.models[sig]
+	if !ok {
+		best, bestD := e.signatures[0], 65
+		for _, s := range e.signatures {
+			if d := lsh.HammingDistance(sig, s); d < bestD {
+				best, bestD = s, d
+			}
+		}
+		m = e.models[best]
+	}
+	// Decision over the bucket's own training subset.
+	s := m.svm.B
+	for i, a := range m.svm.Alpha {
+		s += a * float64(m.svm.Labels[i]) * e.kf(e.points.Row(m.indices[i]), x)
+	}
+	if s >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Buckets returns the number of per-bucket models.
+func (e *BucketedSVM) Buckets() int { return len(e.models) }
+
+// proportionalK mirrors core.BucketK without importing core (which
+// would create an import cycle through the experiment harness).
+func proportionalK(k, ni, n int) int {
+	ki := (k*ni + n/2) / n
+	if ki < 1 {
+		ki = 1
+	}
+	if ki > ni {
+		ki = ni
+	}
+	return ki
+}

@@ -1,0 +1,82 @@
+package kernelml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// KPCAResult holds a kernel principal component analysis.
+type KPCAResult struct {
+	// Projections is the n x k matrix of kernel principal components.
+	Projections *matrix.Dense
+	// Eigenvalues of the centered Gram matrix, descending, length k.
+	Eigenvalues []float64
+}
+
+// KernelPCA computes the top-k kernel principal components from a Gram
+// matrix (Schölkopf et al., the paper's reference [31] for kernel
+// dimensionality reduction): double-center the Gram matrix, take its
+// leading eigenpairs, and scale eigenvectors by sqrt(lambda) so row i
+// of Projections is the image of point i in the principal subspace.
+func KernelPCA(gram *matrix.Dense, k int) (*KPCAResult, error) {
+	n := gram.Rows()
+	if gram.Cols() != n {
+		return nil, fmt.Errorf("kernelml: gram %dx%d not square", n, gram.Cols())
+	}
+	if n == 0 {
+		return nil, ErrEmptyGram
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("kernelml: k=%d", k)
+	}
+	if k > n {
+		k = n
+	}
+	centered := centerGram(gram)
+	vals, vecs, err := linalg.TopKEigenSym(centered, k)
+	if err != nil {
+		return nil, fmt.Errorf("kernelml: kpca eigensolver: %w", err)
+	}
+	proj := matrix.NewDense(n, len(vals))
+	for c, lambda := range vals {
+		var scale float64
+		if lambda > 0 {
+			// Scale the unit eigenvector so its coordinates have
+			// variance lambda along the component.
+			scale = math.Sqrt(lambda)
+		}
+		for r := 0; r < n; r++ {
+			proj.Set(r, c, vecs.At(r, c)*scale)
+		}
+	}
+	return &KPCAResult{Projections: proj, Eigenvalues: vals}, nil
+}
+
+// centerGram applies the double-centering K - 1K - K1 + 1K1 that moves
+// the feature-space origin to the data mean.
+func centerGram(gram *matrix.Dense) *matrix.Dense {
+	n := gram.Rows()
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, v := range gram.Row(i) {
+			s += v
+		}
+		rowMean[i] = s / float64(n)
+		total += s
+	}
+	grand := total / float64(n*n)
+	out := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		src := gram.Row(i)
+		dst := out.Row(i)
+		for j := range src {
+			dst[j] = src[j] - rowMean[i] - rowMean[j] + grand
+		}
+	}
+	return out
+}

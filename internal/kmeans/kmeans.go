@@ -1,0 +1,229 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding,
+// the final step of every spectral-clustering variant in the paper
+// (SC, PSC, NYST and DASC all run K-means on rows of the eigenvector
+// matrix). The assignment step is parallelized across goroutines, and
+// empty clusters are repaired by re-seeding from the point farthest
+// from its centroid.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Config controls a K-means run. The zero value of optional fields is
+// replaced by defaults in Run.
+type Config struct {
+	// K is the number of clusters; required, 1 <= K <= number of points.
+	K int
+	// MaxIter bounds the number of Lloyd iterations (default 100).
+	MaxIter int
+	// Tol stops iteration when total centroid movement falls below it
+	// (default 1e-6).
+	Tol float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers caps the parallelism of the assignment step
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+// Result is the outcome of a K-means run.
+type Result struct {
+	// Labels[i] is the cluster index of point i, in [0, K).
+	Labels []int
+	// Centroids is the K x d matrix of cluster centers.
+	Centroids *matrix.Dense
+	// Inertia is the summed squared distance of points to their centroid.
+	Inertia float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// ErrBadK is returned when K is out of range for the dataset.
+var ErrBadK = errors.New("kmeans: K out of range")
+
+// Run clusters the rows of points into cfg.K clusters.
+func Run(points *matrix.Dense, cfg Config) (*Result, error) {
+	n := points.Rows()
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("%w: K=%d with %d points", ErrBadK, cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := points.Cols()
+
+	centroids := seedPlusPlus(points, cfg.K, rng)
+	labels := make([]int, n)
+	counts := make([]int, cfg.K)
+	sums := matrix.NewDense(cfg.K, d)
+
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		assignParallel(points, centroids, labels, cfg.Workers)
+
+		// Recompute centroids.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range sums.Data() {
+			sums.Data()[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			row := sums.Row(c)
+			for j, v := range points.Row(i) {
+				row[j] += v
+			}
+		}
+		var moved float64
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// current centroid, the standard repair.
+				far := farthestPoint(points, centroids, labels)
+				copy(sums.Row(c), points.Row(far))
+				counts[c] = 1
+				labels[far] = c
+			}
+			inv := 1 / float64(counts[c])
+			newRow := sums.Row(c)
+			oldRow := centroids.Row(c)
+			var delta float64
+			for j := range newRow {
+				v := newRow[j] * inv
+				dv := v - oldRow[j]
+				delta += dv * dv
+				oldRow[j] = v
+			}
+			moved += math.Sqrt(delta)
+		}
+		if moved < cfg.Tol {
+			iter++
+			break
+		}
+	}
+	assignParallel(points, centroids, labels, cfg.Workers)
+
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += matrix.SqDist(points.Row(i), centroids.Row(labels[i]))
+	}
+	return &Result{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
+}
+
+// seedPlusPlus chooses K initial centroids with the k-means++ scheme:
+// the first uniformly, each next with probability proportional to the
+// squared distance from the nearest already-chosen centroid.
+func seedPlusPlus(points *matrix.Dense, k int, rng *rand.Rand) *matrix.Dense {
+	n, d := points.Rows(), points.Cols()
+	centroids := matrix.NewDense(k, d)
+	first := rng.Intn(n)
+	copy(centroids.Row(0), points.Row(first))
+
+	dist2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist2[i] = matrix.SqDist(points.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range dist2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			// All remaining points coincide with chosen centroids.
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			var acc float64
+			pick = n - 1
+			for i, v := range dist2 {
+				acc += v
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), points.Row(pick))
+		for i := 0; i < n; i++ {
+			if d2 := matrix.SqDist(points.Row(i), centroids.Row(c)); d2 < dist2[i] {
+				dist2[i] = d2
+			}
+		}
+	}
+	return centroids
+}
+
+// assignParallel writes the index of the nearest centroid for every
+// point into labels, splitting rows across workers.
+func assignParallel(points, centroids *matrix.Dense, labels []int, workers int) {
+	n := points.Rows()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		assignRange(points, centroids, labels, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			assignRange(points, centroids, labels, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func assignRange(points, centroids *matrix.Dense, labels []int, lo, hi int) {
+	k := centroids.Rows()
+	for i := lo; i < hi; i++ {
+		p := points.Row(i)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if d := matrix.SqDist(p, centroids.Row(c)); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+	}
+}
+
+// farthestPoint returns the index of the point with the largest distance
+// to its assigned centroid.
+func farthestPoint(points, centroids *matrix.Dense, labels []int) int {
+	worst, worstD := 0, -1.0
+	for i := 0; i < points.Rows(); i++ {
+		if d := matrix.SqDist(points.Row(i), centroids.Row(labels[i])); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	return worst
+}

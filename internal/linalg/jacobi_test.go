@@ -1,0 +1,81 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestJacobiKnown2x2(t *testing.T) {
+	a, _ := matrix.FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := JacobiEigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if dev := Orthonormality(vecs); dev > 1e-10 {
+		t.Fatalf("vector deviation %g", dev)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	if _, _, err := JacobiEigenSym(matrix.NewDense(2, 3)); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	bad, _ := matrix.FromRows([][]float64{{0, 1}, {0, 0}})
+	if _, _, err := JacobiEigenSym(bad); err == nil {
+		t.Fatal("expected asymmetry error")
+	}
+	vals, vecs, err := JacobiEigenSym(matrix.NewDense(0, 0))
+	if err != nil || len(vals) != 0 || vecs.Rows() != 0 {
+		t.Fatalf("empty: %v %v %v", vals, vecs, err)
+	}
+}
+
+func TestJacobiEigenpairsResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 12} {
+		a := randSym(rng, n)
+		vals, vecs, err := JacobiEigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < n; c++ {
+			v := vecs.Col(c)
+			av, _ := a.MulVec(v)
+			matrix.AXPY(-vals[c], v, av)
+			if r := matrix.Norm2(av); r > 1e-8*(1+a.MaxAbs()*float64(n)) {
+				t.Fatalf("n=%d col %d residual %g", n, c, r)
+			}
+		}
+	}
+}
+
+// Property: the production Householder+QL solver and the independent
+// Jacobi oracle agree on eigenvalues of random symmetric matrices.
+func TestPropEigenSolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randSym(rng, n)
+		v1, _, err1 := EigenSym(a)
+		v2, _, err2 := JacobiEigenSym(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range v1 {
+			if math.Abs(v1[i]-v2[i]) > 1e-7*(1+math.Abs(v1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestLanczosMatchesDenseSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 60
+	a := randSym(rng, n)
+	wantVals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lanczos(MatVec(a), n, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(res.Values[i]-wantVals[i]) > 1e-6*(1+math.Abs(wantVals[i])) {
+			t.Fatalf("lanczos[%d] = %v, dense = %v", i, res.Values[i], wantVals[i])
+		}
+	}
+	// Residual check: ||A v - lambda v|| small.
+	for c := 0; c < res.Vectors.Cols(); c++ {
+		v := res.Vectors.Col(c)
+		av, _ := a.MulVec(v)
+		matrix.AXPY(-res.Values[c], v, av)
+		if r := matrix.Norm2(av); r > 1e-5*(1+math.Abs(res.Values[c])) {
+			t.Fatalf("residual col %d = %g", c, r)
+		}
+	}
+}
+
+func TestLanczosInvalidArgs(t *testing.T) {
+	if _, err := Lanczos(MatVec(matrix.Identity(2)), 2, 0, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Lanczos(MatVec(matrix.Identity(2)), 0, 1, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestLanczosIdentityEarlyTermination(t *testing.T) {
+	// On the identity the Krylov space has dimension 1: beta vanishes
+	// immediately and Lanczos must still return valid (if repeated)
+	// eigenvalues without crashing.
+	n := 20
+	res, err := Lanczos(MatVec(matrix.Identity(n)), n, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) == 0 || math.Abs(res.Values[0]-1) > 1e-10 {
+		t.Fatalf("identity eigenvalue = %v", res.Values)
+	}
+}
+
+func TestLanczosKClampedToN(t *testing.T) {
+	a, _ := matrix.FromRows([][]float64{{5, 0}, {0, 2}})
+	res, err := Lanczos(MatVec(a), 2, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 {
+		t.Fatalf("len(values) = %d, want 2", len(res.Values))
+	}
+	if math.Abs(res.Values[0]-5) > 1e-10 || math.Abs(res.Values[1]-2) > 1e-10 {
+		t.Fatalf("values = %v", res.Values)
+	}
+}
+
+func TestLanczosSeedIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := symFromSpectrum(rng, []float64{7, 5, 3, 2, 1, 0.5, 0.2, 0.1})
+	r1, err := Lanczos(MatVec(a), 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Lanczos(MatVec(a), 8, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(r1.Values[i]-r2.Values[i]) > 1e-7 {
+			t.Fatalf("seed-dependent eigenvalues: %v vs %v", r1.Values, r2.Values)
+		}
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := symFromSpectrum(rng, []float64{9, 3, 1})
+	lambda, v := PowerIteration(MatVec(a), 3, 200, 0)
+	if math.Abs(lambda-9) > 1e-6 {
+		t.Fatalf("power lambda = %v, want 9", lambda)
+	}
+	av, _ := a.MulVec(v)
+	matrix.AXPY(-lambda, v, av)
+	if matrix.Norm2(av) > 1e-5 {
+		t.Fatalf("power residual = %g", matrix.Norm2(av))
+	}
+}
+
+func TestOrthonormalityDiagnostic(t *testing.T) {
+	if dev := Orthonormality(matrix.Identity(4)); dev != 0 {
+		t.Fatalf("identity deviation = %v", dev)
+	}
+	bad, _ := matrix.FromRows([][]float64{{1, 1}, {0, 0}})
+	if dev := Orthonormality(bad); dev < 0.9 {
+		t.Fatalf("expected large deviation, got %v", dev)
+	}
+}
+
+func TestDecomposeQRProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, dims := range [][2]int{{3, 3}, {5, 3}, {10, 10}, {8, 1}} {
+		m, n := dims[0], dims[1]
+		a := matrix.NewDense(m, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		qr, err := DecomposeQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Q orthonormal.
+		if dev := Orthonormality(qr.Q); dev > 1e-10 {
+			t.Fatalf("%dx%d: Q deviation %g", m, n, dev)
+		}
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if qr.R.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+		// Q*R == A.
+		back, _ := matrix.Mul(qr.Q, qr.R)
+		if !matrix.Equal(back, a, 1e-9) {
+			t.Fatalf("%dx%d: QR reconstruction failed", m, n)
+		}
+	}
+	if _, err := DecomposeQR(matrix.NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+}

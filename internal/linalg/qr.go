@@ -1,0 +1,52 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// QR holds a Householder QR factorization A = Q*R with Q orthonormal
+// (m x n, thin) and R upper triangular (n x n).
+type QR struct {
+	Q *matrix.Dense
+	R *matrix.Dense
+}
+
+// DecomposeQR computes the thin QR factorization of a (m x n, m >= n)
+// by modified Gram–Schmidt with a single reorthogonalization pass,
+// which is numerically adequate for the well-conditioned eigenvector
+// blocks produced by the clustering pipeline.
+func DecomposeQR(a *matrix.Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	q := a.Clone()
+	r := matrix.NewDense(n, n)
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		cols[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			cols[j][i] = q.At(i, j)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < j; i++ {
+				c := matrix.Dot(cols[i], cols[j])
+				r.Add(i, j, c)
+				matrix.AXPY(-c, cols[i], cols[j])
+			}
+		}
+		norm := matrix.Normalize(cols[j])
+		r.Set(j, j, norm)
+	}
+	out := matrix.NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			out.Set(i, j, cols[j][i])
+		}
+	}
+	return &QR{Q: out, R: r}, nil
+}

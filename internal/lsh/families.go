@@ -1,0 +1,315 @@
+package lsh
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Family is the interface every locality-sensitive hashing scheme in
+// this package satisfies. The paper's own hash is the span/threshold
+// Hasher; §3.2 says the authors "studied various LSH families,
+// including random projection, stable distributions, and Min-Wise
+// Independent Permutations", and §5.1 suggests data-dependent spectral
+// hashing for skewed data — those families are implemented here so the
+// choice can be ablated.
+type Family interface {
+	// Signature maps a point to its M-bit signature.
+	Signature(x []float64) uint64
+	// Bits returns the signature width M.
+	Bits() int
+}
+
+var _ Family = (*Hasher)(nil)
+
+// PartitionWith hashes every row of points with the family and builds
+// the merged bucket partition, like Hasher.Partition but for any Family.
+func PartitionWith(f Family, points *matrix.Dense, maxHamming int) *Partition {
+	n := points.Rows()
+	sigs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		sigs[i] = f.Signature(points.Row(i))
+	}
+	return PartitionSignatures(sigs, maxHamming)
+}
+
+// ---- SimHash: Charikar's random hyperplane rounding ----
+
+// SimHash is the classic random-projection family of Charikar (the
+// paper's reference [2]): bit i is the sign of the inner product with a
+// random Gaussian direction, taken around the data mean so that bits
+// split the mass rather than the origin.
+type SimHash struct {
+	planes *matrix.Dense // M x d
+	center []float64
+}
+
+// FitSimHash draws m Gaussian hyperplanes for d-dimensional data and
+// centers them on the dataset mean.
+func FitSimHash(points *matrix.Dense, m int, seed int64) (*SimHash, error) {
+	n, d := points.Rows(), points.Cols()
+	if n == 0 || d == 0 {
+		return nil, errors.New("lsh: empty dataset")
+	}
+	if m < 1 || m > MaxBits {
+		return nil, fmt.Errorf("lsh: M=%d out of range [1,%d]", m, MaxBits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planes := matrix.NewDense(m, d)
+	for i := range planes.Data() {
+		planes.Data()[i] = rng.NormFloat64()
+	}
+	center := make([]float64, d)
+	for i := 0; i < n; i++ {
+		matrix.AXPY(1, points.Row(i), center)
+	}
+	matrix.ScaleVec(1/float64(n), center)
+	return &SimHash{planes: planes, center: center}, nil
+}
+
+// Bits implements Family.
+func (s *SimHash) Bits() int { return s.planes.Rows() }
+
+// Signature implements Family.
+func (s *SimHash) Signature(x []float64) uint64 {
+	var sig uint64
+	for i := 0; i < s.planes.Rows(); i++ {
+		plane := s.planes.Row(i)
+		var dot float64
+		for j, v := range plane {
+			dot += v * (x[j] - s.center[j])
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}
+
+// ---- p-stable (L2) quantized projections ----
+
+// PStable is the Datar–Indyk family for Euclidean distance: each hash
+// quantizes a Gaussian projection into cells of width w, and the cell
+// ids are folded into a 64-bit signature. Cell identity (not Hamming
+// proximity) is what is locality-sensitive here, so partitions built
+// from it should disable near-duplicate merging.
+type PStable struct {
+	planes  *matrix.Dense
+	offsets []float64
+	width   float64
+}
+
+// FitPStable draws m projections with cell width w (w <= 0 defaults to
+// the mean per-projection spread / 4).
+func FitPStable(points *matrix.Dense, m int, w float64, seed int64) (*PStable, error) {
+	n, d := points.Rows(), points.Cols()
+	if n == 0 || d == 0 {
+		return nil, errors.New("lsh: empty dataset")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("lsh: M=%d must be positive", m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planes := matrix.NewDense(m, d)
+	for i := range planes.Data() {
+		planes.Data()[i] = rng.NormFloat64()
+	}
+	if w <= 0 {
+		// Estimate projection spread on a sample.
+		var spread float64
+		for i := 0; i < m; i++ {
+			plane := planes.Row(i)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for r := 0; r < n; r++ {
+				v := matrix.Dot(plane, points.Row(r))
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			spread += hi - lo
+		}
+		w = spread / float64(m) / 4
+		if w <= 0 {
+			w = 1
+		}
+	}
+	offsets := make([]float64, m)
+	for i := range offsets {
+		offsets[i] = rng.Float64() * w
+	}
+	return &PStable{planes: planes, offsets: offsets, width: w}, nil
+}
+
+// Bits implements Family. The folded signature uses the full word.
+func (p *PStable) Bits() int { return 64 }
+
+// Signature implements Family: the concatenated cell ids are folded
+// through FNV-1a so equal cells collide exactly.
+func (p *PStable) Signature(x []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < p.planes.Rows(); i++ {
+		cell := int64(math.Floor((matrix.Dot(p.planes.Row(i), x) + p.offsets[i]) / p.width))
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(cell >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ---- 1-bit MinHash over nonzero support ----
+
+// MinHash implements b-bit (b=1) min-wise independent permutations over
+// the set of nonzero feature indices — the natural reading of the
+// paper's Min-Wise family for sparse tf-idf documents. Bit i is the
+// parity of the minimum hash of the support under permutation i, so
+// signatures remain Hamming-comparable.
+type MinHash struct {
+	a, b []uint64
+}
+
+// FitMinHash draws m universal-hash permutations.
+func FitMinHash(m int, seed int64) (*MinHash, error) {
+	if m < 1 || m > MaxBits {
+		return nil, fmt.Errorf("lsh: M=%d out of range [1,%d]", m, MaxBits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mh := &MinHash{a: make([]uint64, m), b: make([]uint64, m)}
+	for i := 0; i < m; i++ {
+		mh.a[i] = uint64(rng.Int63())<<1 | 1 // odd multiplier
+		mh.b[i] = uint64(rng.Int63())
+	}
+	return mh, nil
+}
+
+// Bits implements Family.
+func (mh *MinHash) Bits() int { return len(mh.a) }
+
+// Signature implements Family. Points with empty support hash to 0.
+func (mh *MinHash) Signature(x []float64) uint64 {
+	var sig uint64
+	for i := range mh.a {
+		min := uint64(math.MaxUint64)
+		seen := false
+		for j, v := range x {
+			if v == 0 {
+				continue
+			}
+			seen = true
+			h := mh.a[i]*uint64(j) + mh.b[i]
+			if h < min {
+				min = h
+			}
+		}
+		if seen && min>>13&1 == 1 { // a middle bit: low bits of a*j+b are biased
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}
+
+// ---- Spectral hashing (data-dependent, balanced) ----
+
+// Spectral is the data-dependent family the paper points to for skewed
+// distributions (§5.1): bits threshold the projections onto the data's
+// principal directions at their medians, which balances every bit by
+// construction and decorrelates the splits.
+type Spectral struct {
+	directions *matrix.Dense // M x d principal directions
+	medians    []float64
+	center     []float64
+}
+
+// FitSpectral computes the top-m principal directions of the data by
+// power iteration with deflation and places each threshold at the
+// median projection.
+func FitSpectral(points *matrix.Dense, m int, seed int64) (*Spectral, error) {
+	n, d := points.Rows(), points.Cols()
+	if n == 0 || d == 0 {
+		return nil, errors.New("lsh: empty dataset")
+	}
+	if m < 1 || m > MaxBits {
+		return nil, fmt.Errorf("lsh: M=%d out of range [1,%d]", m, MaxBits)
+	}
+	if m > d {
+		m = d
+	}
+	center := make([]float64, d)
+	for i := 0; i < n; i++ {
+		matrix.AXPY(1, points.Row(i), center)
+	}
+	matrix.ScaleVec(1/float64(n), center)
+
+	rng := rand.New(rand.NewSource(seed))
+	dirs := matrix.NewDense(m, d)
+	centered := make([][]float64, n)
+	for i := range centered {
+		row := append([]float64(nil), points.Row(i)...)
+		matrix.AXPY(-1, center, row)
+		centered[i] = row
+	}
+	// Power iteration with Gram-Schmidt deflation against earlier
+	// directions; the covariance never materializes.
+	proj := make([]float64, n)
+	for c := 0; c < m; c++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		for iter := 0; iter < 50; iter++ {
+			// v <- Cov * v = X^T (X v) / n, deflated.
+			for i, row := range centered {
+				proj[i] = matrix.Dot(row, v)
+			}
+			next := make([]float64, d)
+			for i, row := range centered {
+				matrix.AXPY(proj[i], row, next)
+			}
+			for prev := 0; prev < c; prev++ {
+				p := dirs.Row(prev)
+				matrix.AXPY(-matrix.Dot(next, p), p, next)
+			}
+			if matrix.Normalize(next) == 0 {
+				break
+			}
+			copy(v, next)
+		}
+		copy(dirs.Row(c), v)
+	}
+
+	medians := make([]float64, m)
+	vals := make([]float64, n)
+	for c := 0; c < m; c++ {
+		dir := dirs.Row(c)
+		for i, row := range centered {
+			vals[i] = matrix.Dot(row, dir)
+		}
+		sort.Float64s(vals)
+		medians[c] = vals[n/2]
+	}
+	return &Spectral{directions: dirs, medians: medians, center: center}, nil
+}
+
+// Bits implements Family.
+func (s *Spectral) Bits() int { return s.directions.Rows() }
+
+// Signature implements Family.
+func (s *Spectral) Signature(x []float64) uint64 {
+	var sig uint64
+	for i := 0; i < s.directions.Rows(); i++ {
+		dir := s.directions.Row(i)
+		var dot float64
+		for j, v := range dir {
+			dot += v * (x[j] - s.center[j])
+		}
+		if dot > s.medians[i] {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}

@@ -1,0 +1,154 @@
+package lsh
+
+import (
+	"sort"
+)
+
+// Bucket is one group of points that will share a sub-similarity
+// matrix: the indices of the dataset rows it contains and the signature
+// that identifies it (after merging, the signature of the largest
+// constituent bucket).
+type Bucket struct {
+	Signature uint64
+	Indices   []int
+}
+
+// Partition is the result of hashing a dataset: the set of buckets,
+// plus the signature of every point for diagnostics.
+type Partition struct {
+	Buckets    []Bucket
+	Signatures []uint64
+}
+
+// Partition groups points by exact signature and then merges buckets
+// whose signatures are within maxHamming bits of each other (the paper
+// merges at Hamming distance <= M-P with P = M-1, i.e. distance 1, so
+// the Eq. 6 constant-time test applies; larger radii fall back to a
+// popcount comparison). maxHamming < 0 disables merging.
+func (h *Hasher) Partition(points interface {
+	Rows() int
+	Row(int) []float64
+}, maxHamming int) *Partition {
+	n := points.Rows()
+	sigs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		sigs[i] = h.Signature(points.Row(i))
+	}
+	return PartitionSignatures(sigs, maxHamming)
+}
+
+// PartitionSignatures builds the bucket partition from precomputed
+// signatures. It is the reducer-side grouping step of the MapReduce
+// formulation, split out so the distributed driver can reuse it.
+//
+// Merging is deliberately NOT transitive. The paper's pairwise merge
+// (Eq. 6) repairs near-duplicate signatures; taking its transitive
+// closure would collapse the entire signature space whenever most
+// M-bit patterns are occupied (every pattern has a Hamming-1 chain to
+// every other). Instead, buckets are processed in descending size:
+// each still-unabsorbed bucket becomes a keeper and absorbs the
+// smaller unabsorbed buckets within maxHamming of the keeper's own
+// signature; absorbed buckets never absorb others, so no chains form —
+// the keeper/absorbed distinction is the O(T^2) pairwise comparison of
+// §3.3 with deterministic tie-breaking.
+func PartitionSignatures(sigs []uint64, maxHamming int) *Partition {
+	groups := make(map[uint64][]int)
+	for i, s := range sigs {
+		groups[s] = append(groups[s], i)
+	}
+	unique := make([]uint64, 0, len(groups))
+	for s := range groups {
+		unique = append(unique, s)
+	}
+	// Descending bucket size, ascending signature for determinism.
+	sort.Slice(unique, func(a, b int) bool {
+		la, lb := len(groups[unique[a]]), len(groups[unique[b]])
+		if la != lb {
+			return la > lb
+		}
+		return unique[a] < unique[b]
+	})
+
+	absorbedBy := make([]int, len(unique)) // index of keeper, -1 = keeper
+	for i := range absorbedBy {
+		absorbedBy[i] = -1
+	}
+	if maxHamming >= 0 {
+		for i := 0; i < len(unique); i++ {
+			if absorbedBy[i] != -1 {
+				continue // absorbed buckets do not absorb others
+			}
+			for j := i + 1; j < len(unique); j++ {
+				if absorbedBy[j] != -1 {
+					continue
+				}
+				var close bool
+				if maxHamming <= 1 {
+					close = NearDuplicate(unique[i], unique[j])
+				} else {
+					close = HammingDistance(unique[i], unique[j]) <= maxHamming
+				}
+				if close {
+					absorbedBy[j] = i
+				}
+			}
+		}
+	}
+
+	keeperIdxs := make(map[int][]int) // keeper position -> point indices
+	var keepers []int
+	for pos, s := range unique {
+		root := pos
+		if absorbedBy[pos] != -1 {
+			root = absorbedBy[pos]
+		}
+		if _, seen := keeperIdxs[root]; !seen && root == pos {
+			keepers = append(keepers, pos)
+		}
+		keeperIdxs[root] = append(keeperIdxs[root], groups[s]...)
+	}
+	sort.Slice(keepers, func(a, b int) bool { return unique[keepers[a]] < unique[keepers[b]] })
+
+	buckets := make([]Bucket, 0, len(keepers))
+	for _, kpos := range keepers {
+		idxs := keeperIdxs[kpos]
+		sort.Ints(idxs)
+		buckets = append(buckets, Bucket{Signature: unique[kpos], Indices: idxs})
+	}
+	return &Partition{Buckets: buckets, Signatures: sigs}
+}
+
+// NumBuckets returns the number of buckets after merging.
+func (p *Partition) NumBuckets() int { return len(p.Buckets) }
+
+// Sizes returns the per-bucket point counts.
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.Buckets))
+	for i, b := range p.Buckets {
+		out[i] = len(b.Indices)
+	}
+	return out
+}
+
+// LargestBucket returns the size of the biggest bucket (0 when empty).
+func (p *Partition) LargestBucket() int {
+	var mx int
+	for _, b := range p.Buckets {
+		if len(b.Indices) > mx {
+			mx = len(b.Indices)
+		}
+	}
+	return mx
+}
+
+// ApproxGramEntries returns sum of Ni^2 over buckets — the number of
+// similarity entries DASC computes and stores, the quantity behind the
+// paper's Eq. 9 space analysis and Figure 6(b).
+func (p *Partition) ApproxGramEntries() int64 {
+	var total int64
+	for _, b := range p.Buckets {
+		n := int64(len(b.Indices))
+		total += n * n
+	}
+	return total
+}

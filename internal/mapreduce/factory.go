@@ -1,0 +1,63 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Factory-registered jobs make TCP workers usable across OS processes.
+// A plain Registered job captures its data by closure, which only works
+// when master and workers share an address space. A JobFactory instead
+// rebuilds the job on the worker from an opaque configuration blob that
+// travels with every task — the analogue of Hadoop shipping the JobConf
+// with the job jar. Map/reduce input data must then travel in the
+// records themselves.
+//
+// Masters attach the blob via Job.Conf; workers look up the factory
+// under the job name, build the job once per distinct configuration,
+// and cache it.
+
+// JobFactory rebuilds a job from its configuration blob.
+type JobFactory func(conf []byte) (*Job, error)
+
+// RegisterFactory installs a factory under name. Worker processes must
+// call this (typically from the same package init/main as the master)
+// before serving tasks for the job.
+func RegisterFactory(name string, factory JobFactory) {
+	if name == "" {
+		panic("mapreduce: RegisterFactory needs a name")
+	}
+	factories.Store(name, factory)
+}
+
+var factories sync.Map // string -> JobFactory
+
+// builtJobs caches worker-side jobs per (name, conf-hash).
+var builtJobs sync.Map // string -> *Job
+
+// resolveJob returns the runnable job for a task: a factory-built job
+// when Conf is present, otherwise the plain registry entry.
+func resolveJob(name string, conf []byte) (*Job, error) {
+	if len(conf) == 0 {
+		job, ok := lookupJob(name)
+		if !ok {
+			return nil, fmt.Errorf("job %q not registered on worker", name)
+		}
+		return job, nil
+	}
+	key := name + "\x00" + string(conf)
+	if cached, ok := builtJobs.Load(key); ok {
+		return cached.(*Job), nil
+	}
+	v, ok := factories.Load(name)
+	if !ok {
+		return nil, fmt.Errorf("job factory %q not registered on worker", name)
+	}
+	job, err := v.(JobFactory)(conf)
+	if err != nil {
+		return nil, fmt.Errorf("job factory %q: %w", name, err)
+	}
+	job.Name = name
+	builtJobs.Store(key, job)
+	return job, nil
+}

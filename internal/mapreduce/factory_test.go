@@ -1,0 +1,143 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// scaleJobFactory builds a job that multiplies integer values by the
+// factor carried in its Conf — a minimal closure-free job.
+func scaleJobFactory(conf []byte) (*Job, error) {
+	if len(conf) != 4 {
+		return nil, errors.New("want 4-byte conf")
+	}
+	factor := int(binary.LittleEndian.Uint32(conf))
+	return &Job{
+		NumReducers: 2,
+		Map: func(key string, value []byte, emit Emit) error {
+			v, err := strconv.Atoi(string(value))
+			if err != nil {
+				return err
+			}
+			emit(key, []byte(strconv.Itoa(v*factor)))
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(string(v))
+				if err != nil {
+					return err
+				}
+				total += n
+			}
+			emit(key, []byte(strconv.Itoa(total)))
+			return nil
+		},
+	}, nil
+}
+
+func confFor(factor int) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(factor))
+	return buf[:]
+}
+
+func TestFactoryJobOverTCP(t *testing.T) {
+	RegisterFactory("factory-scale", scaleJobFactory)
+	m, stop := startCluster(t, 2)
+	defer stop()
+
+	input := []Pair{
+		{Key: "a", Value: []byte("1")},
+		{Key: "a", Value: []byte("2")},
+		{Key: "b", Value: []byte("5")},
+	}
+	for _, factor := range []int{2, 10} {
+		job, err := scaleJobFactory(confFor(factor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Name = "factory-scale"
+		job.Conf = confFor(factor)
+		out, _, err := m.Run(job, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]int{"a": 3 * factor, "b": 5 * factor}
+		for _, p := range out {
+			got, _ := strconv.Atoi(string(p.Value))
+			if got != want[p.Key] {
+				t.Fatalf("factor %d: %s = %d, want %d", factor, p.Key, got, want[p.Key])
+			}
+		}
+	}
+}
+
+func TestFactoryMissingOnMaster(t *testing.T) {
+	m, stop := startCluster(t, 1)
+	defer stop()
+	job, _ := scaleJobFactory(confFor(2))
+	job.Name = "never-a-factory"
+	job.Conf = confFor(2)
+	_, _, err := m.Run(job, []Pair{{Key: "x", Value: []byte("1")}})
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFactoryConfErrorSurfaces(t *testing.T) {
+	RegisterFactory("factory-bad-conf", scaleJobFactory)
+	m, stop := startCluster(t, 1)
+	defer stop()
+	job, _ := scaleJobFactory(confFor(1))
+	job.Name = "factory-bad-conf"
+	job.Conf = []byte("short") // 5 bytes: factory rejects on the worker
+	_, _, err := m.Run(job, []Pair{{Key: "x", Value: []byte("1")}})
+	if err == nil || !strings.Contains(err.Error(), "4-byte conf") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFactoryBuildCached(t *testing.T) {
+	var builds atomic.Int32
+	RegisterFactory("factory-counted", func(conf []byte) (*Job, error) {
+		builds.Add(1)
+		return scaleJobFactory(conf)
+	})
+	conf := confFor(3)
+	j1, err := resolveJob("factory-counted", conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := resolveJob("factory-counted", conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("same conf must return the cached job")
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("factory ran %d times, want 1", builds.Load())
+	}
+	// A different conf builds a fresh job.
+	if _, err := resolveJob("factory-counted", confFor(4)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("factory ran %d times, want 2", builds.Load())
+	}
+}
+
+func TestRegisterFactoryRequiresName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegisterFactory("", scaleJobFactory)
+}

@@ -1,0 +1,149 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Local executes jobs in-process with a bounded worker pool — the
+// single-machine analogue of a Hadoop task tracker with W slots.
+type Local struct {
+	// Workers caps concurrent map (and reduce) tasks
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+var _ Executor = (*Local)(nil)
+
+// Run implements Executor.
+func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
+	if err := job.validate(); err != nil {
+		return nil, nil, err
+	}
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numReducers := job.numReducers()
+	ctr := &Counters{InputRecords: len(input), ReduceTasks: numReducers}
+
+	tasks := splits(input, job.splitSize())
+	ctr.MapTasks = len(tasks)
+
+	// Map phase: each task produces per-partition output slices.
+	type mapResult struct {
+		parts [][]Pair
+		err   error
+	}
+	results := make([]mapResult, len(tasks))
+	var mapOutputs atomic.Int64
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for t := range tasks {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Pair
+			emit := func(k string, v []byte) {
+				local = append(local, Pair{k, v})
+			}
+			for _, rec := range tasks[t] {
+				if err := job.Map(rec.Key, rec.Value, emit); err != nil {
+					results[t].err = fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
+					return
+				}
+			}
+			mapOutputs.Add(int64(len(local)))
+			if job.Combine != nil {
+				combined, err := runCombine(job.Combine, local)
+				if err != nil {
+					results[t].err = fmt.Errorf("mapreduce: %s combine: %w", job.Name, err)
+					return
+				}
+				local = combined
+			}
+			parts := make([][]Pair, numReducers)
+			for _, p := range local {
+				idx := job.partition(p.Key)
+				parts[idx] = append(parts[idx], p)
+			}
+			results[t].parts = parts
+		}(t)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+	}
+	ctr.MapOutputs = int(mapOutputs.Load())
+
+	// Shuffle: gather each reduce partition from all map tasks, in map
+	// task order for determinism, then sort by key.
+	partitions := make([][]Pair, numReducers)
+	for _, r := range results {
+		for p, pairs := range r.parts {
+			partitions[p] = append(partitions[p], pairs...)
+			for _, kv := range pairs {
+				ctr.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+		}
+	}
+
+	// Reduce phase.
+	type reduceResult struct {
+		out []Pair
+		err error
+	}
+	red := make([]reduceResult, numReducers)
+	for p := range partitions {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pairs := partitions[p]
+			sortPairs(pairs)
+			err := groupSorted(pairs, func(key string, values [][]byte) error {
+				return job.Reduce(key, values, func(k string, v []byte) {
+					red[p].out = append(red[p].out, Pair{k, v})
+				})
+			})
+			if err != nil {
+				red[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	var out []Pair
+	for _, r := range red {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		out = append(out, r.out...)
+	}
+	sortPairs(out)
+	ctr.OutputRecords = len(out)
+	return out, ctr, nil
+}
+
+// Chain runs a sequence of jobs, feeding each job's output to the next.
+func Chain(exec Executor, input []Pair, jobs ...*Job) ([]Pair, []*Counters, error) {
+	var counters []*Counters
+	cur := input
+	for _, j := range jobs {
+		out, ctr, err := exec.Run(j, cur)
+		if err != nil {
+			return nil, counters, err
+		}
+		counters = append(counters, ctr)
+		cur = out
+	}
+	return cur, counters, nil
+}

@@ -1,0 +1,177 @@
+// Package mapreduce is a self-contained MapReduce runtime with the
+// same dataflow semantics as the Hadoop deployment the paper runs DASC
+// on: jobs are a map phase over key/value pairs, a partitioned sorted
+// shuffle, and a reduce phase over grouped keys, with an optional
+// combiner. Two executors are provided — Local, a bounded goroutine
+// worker pool, and TCP, a master/worker deployment over real sockets
+// with gob-encoded task traffic (see tcp.go).
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Pair is one key/value record. Values are opaque bytes; typed adapters
+// encode with encoding/gob or strconv as they see fit.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Emit receives output records from map and reduce functions.
+type Emit func(key string, value []byte)
+
+// MapFunc processes one input record, emitting intermediate records.
+type MapFunc func(key string, value []byte, emit Emit) error
+
+// ReduceFunc processes all intermediate values grouped under one key.
+type ReduceFunc func(key string, values [][]byte, emit Emit) error
+
+// Job describes one MapReduce stage.
+type Job struct {
+	// Name identifies the job in errors and the TCP registry.
+	Name string
+	// Map is required.
+	Map MapFunc
+	// Reduce is required. (An identity reduce emits values unchanged.)
+	Reduce ReduceFunc
+	// Combine optionally pre-aggregates map output per split before the
+	// shuffle, with reduce semantics.
+	Combine ReduceFunc
+	// NumReducers sets the number of reduce partitions (default 1).
+	NumReducers int
+	// Partition maps a key to a reduce partition (default FNV-1a hash).
+	Partition func(key string, numReducers int) int
+	// SplitSize caps records per map task (default 1024).
+	SplitSize int
+	// Conf is an opaque configuration blob for factory-built jobs: it
+	// travels with every TCP task so worker processes can rebuild the
+	// job via their RegisterFactory entry (see factory.go). Jobs without
+	// Conf require the closure-carrying Register path, which only works
+	// inside one process.
+	Conf []byte
+}
+
+// Counters reports work volume for a run, mirroring Hadoop job counters.
+type Counters struct {
+	MapTasks      int
+	ReduceTasks   int
+	InputRecords  int
+	MapOutputs    int
+	ShuffleBytes  int64
+	OutputRecords int
+}
+
+// Executor runs jobs.
+type Executor interface {
+	// Run executes the job over the input and returns reduce output in
+	// deterministic (key-sorted, then emission) order.
+	Run(job *Job, input []Pair) ([]Pair, *Counters, error)
+}
+
+// ErrBadJob reports an incomplete job description.
+var ErrBadJob = errors.New("mapreduce: bad job")
+
+func (j *Job) validate() error {
+	if j.Map == nil || j.Reduce == nil {
+		return fmt.Errorf("%w: %q needs Map and Reduce", ErrBadJob, j.Name)
+	}
+	if j.NumReducers < 0 || j.SplitSize < 0 {
+		return fmt.Errorf("%w: %q has negative sizing", ErrBadJob, j.Name)
+	}
+	return nil
+}
+
+func (j *Job) numReducers() int {
+	if j.NumReducers == 0 {
+		return 1
+	}
+	return j.NumReducers
+}
+
+func (j *Job) splitSize() int {
+	if j.SplitSize == 0 {
+		return 1024
+	}
+	return j.SplitSize
+}
+
+func (j *Job) partition(key string) int {
+	n := j.numReducers()
+	if j.Partition != nil {
+		p := j.Partition(key, n)
+		if p < 0 || p >= n {
+			p = ((p % n) + n) % n
+		}
+		return p
+	}
+	return DefaultPartition(key, n)
+}
+
+// DefaultPartition hashes the key with FNV-1a, Hadoop's
+// hash-partitioner analogue.
+func DefaultPartition(key string, numReducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReducers))
+}
+
+// splits cuts the input into map tasks of at most splitSize records.
+func splits(input []Pair, splitSize int) [][]Pair {
+	if len(input) == 0 {
+		return nil
+	}
+	var out [][]Pair
+	for start := 0; start < len(input); start += splitSize {
+		end := start + splitSize
+		if end > len(input) {
+			end = len(input)
+		}
+		out = append(out, input[start:end])
+	}
+	return out
+}
+
+// groupSorted groups a key-sorted pair slice into (key, values) runs.
+func groupSorted(pairs []Pair, fn func(key string, values [][]byte) error) error {
+	i := 0
+	for i < len(pairs) {
+		j := i + 1
+		for j < len(pairs) && pairs[j].Key == pairs[i].Key {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for _, p := range pairs[i:j] {
+			vals = append(vals, p.Value)
+		}
+		if err := fn(pairs[i].Key, vals); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// sortPairs orders pairs by key, keeping emission order within a key
+// (stable), which makes executor output deterministic.
+func sortPairs(pairs []Pair) {
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].Key < pairs[b].Key })
+}
+
+// runCombine applies a combiner to one split's map output.
+func runCombine(combine ReduceFunc, pairs []Pair) ([]Pair, error) {
+	sortPairs(pairs)
+	var out []Pair
+	err := groupSorted(pairs, func(key string, values [][]byte) error {
+		return combine(key, values, func(k string, v []byte) {
+			out = append(out, Pair{k, v})
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

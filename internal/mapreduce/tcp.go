@@ -1,0 +1,386 @@
+package mapreduce
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP executor splits a job across worker processes connected over
+// real sockets, mirroring a Hadoop master/task-tracker deployment. Map
+// and reduce functions cannot cross the wire, so — exactly like
+// shipping the same jar to every Hadoop node — both master and workers
+// must Register the jobs they will run; task messages carry only the
+// job name and the records.
+
+// Register makes a job available to TCP workers in this process. It
+// must be called before RunWorker receives tasks for the job. Jobs are
+// keyed by Name; re-registering a name replaces the previous job.
+func Register(job *Job) {
+	if job.Name == "" {
+		panic("mapreduce: Register needs a job Name")
+	}
+	registry.Store(job.Name, job)
+}
+
+var registry sync.Map // string -> *Job
+
+func lookupJob(name string) (*Job, bool) {
+	v, ok := registry.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Job), true
+}
+
+// taskMsg is one unit of work sent master -> worker.
+type taskMsg struct {
+	Seq     int
+	JobName string
+	Phase   string // "map" or "reduce"
+	// Conf carries the factory configuration for closure-free jobs.
+	Conf []byte
+	// NumReducers tells map tasks how to partition their output.
+	NumReducers int
+	Records     []Pair
+}
+
+// resultMsg is the worker's reply.
+type resultMsg struct {
+	Seq int
+	// Parts holds per-partition map output, or a single slice of
+	// reduce output at index 0.
+	Parts [][]Pair
+	Err   string
+}
+
+// Master coordinates TCP workers and implements Executor. A Master
+// runs one job at a time; concurrent Run calls are not supported.
+type Master struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   []*workerConn
+	joined  chan struct{} // signaled on each worker join
+	closed  bool
+	minJoin int
+}
+
+// NewMaster starts listening on addr (e.g. "127.0.0.1:0") and waits for
+// minWorkers workers to join before running any job.
+func NewMaster(addr string, minWorkers int) (*Master, error) {
+	if minWorkers < 1 {
+		return nil, errors.New("mapreduce: need at least one worker")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: listen: %w", err)
+	}
+	m := &Master{ln: ln, joined: make(chan struct{}, 1024), minJoin: minWorkers}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the address workers should dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		// The gob codec pair must live as long as the connection: gob
+		// streams are stateful, so a fresh encoder per job would resend
+		// type definitions and corrupt the worker's decoder state.
+		m.conns = append(m.conns, &workerConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+		m.mu.Unlock()
+		select {
+		case m.joined <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close shuts down the master and disconnects workers (their RunWorker
+// calls return nil on the resulting EOF).
+func (m *Master) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	err := m.ln.Close()
+	for _, c := range m.conns {
+		c.conn.Close()
+	}
+	m.conns = nil
+	return err
+}
+
+// ConnectedWorkers reports how many workers have joined, letting tests
+// and deployment scripts wait for cluster spin-up.
+func (m *Master) ConnectedWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.conns)
+}
+
+// workerConn serializes access to one worker socket.
+type workerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (m *Master) workers() []*workerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*workerConn(nil), m.conns...)
+}
+
+var _ Executor = (*Master)(nil)
+
+// Run implements Executor: map tasks and reduce partitions are farmed
+// out to connected workers; the shuffle happens on the master.
+func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
+	if err := job.validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, ok := lookupJob(job.Name); !ok {
+		if _, fok := factories.Load(job.Name); !fok || len(job.Conf) == 0 {
+			return nil, nil, fmt.Errorf("mapreduce: job %q not registered on master", job.Name)
+		}
+	}
+	// Wait until enough workers have joined.
+	for {
+		m.mu.Lock()
+		n, closed := len(m.conns), m.closed
+		m.mu.Unlock()
+		if closed {
+			return nil, nil, errors.New("mapreduce: master closed")
+		}
+		if n >= m.minJoin {
+			break
+		}
+		<-m.joined
+	}
+	workers := m.workers()
+	numReducers := job.numReducers()
+	ctr := &Counters{InputRecords: len(input), ReduceTasks: numReducers}
+
+	// ---- map phase ----
+	mapTasks := splits(input, job.splitSize())
+	ctr.MapTasks = len(mapTasks)
+	msgs := make([]taskMsg, len(mapTasks))
+	for i, t := range mapTasks {
+		msgs[i] = taskMsg{Seq: i, JobName: job.Name, Phase: "map", Conf: job.Conf, NumReducers: numReducers, Records: t}
+	}
+	mapResults, err := m.dispatch(workers, msgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	partitions := make([][]Pair, numReducers)
+	for _, res := range mapResults {
+		for p, pairs := range res.Parts {
+			if p >= numReducers {
+				return nil, nil, fmt.Errorf("mapreduce: worker returned partition %d of %d", p, numReducers)
+			}
+			partitions[p] = append(partitions[p], pairs...)
+			ctr.MapOutputs += len(pairs)
+			for _, kv := range pairs {
+				ctr.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+			}
+		}
+	}
+
+	// ---- reduce phase ----
+	rmsgs := make([]taskMsg, 0, numReducers)
+	for p := 0; p < numReducers; p++ {
+		rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p]})
+	}
+	redResults, err := m.dispatch(workers, rmsgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Pair
+	for _, res := range redResults {
+		if len(res.Parts) > 0 {
+			out = append(out, res.Parts[0]...)
+		}
+	}
+	sortPairs(out)
+	ctr.OutputRecords = len(out)
+	return out, ctr, nil
+}
+
+// dispatch fans tasks out to workers and collects one result per task.
+// A failing worker is dropped and its in-flight task re-queued; dispatch
+// fails only when no workers remain.
+func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	queue := make(chan taskMsg, len(tasks))
+	for _, t := range tasks {
+		queue <- t
+	}
+	results := make([]resultMsg, len(tasks))
+	var (
+		mu      sync.Mutex
+		done    int
+		failure error
+		alive   = len(workers)
+	)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerConn) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				finished := done == len(tasks) || failure != nil
+				mu.Unlock()
+				if finished {
+					return
+				}
+				var task taskMsg
+				select {
+				case task = <-queue:
+				default:
+					return // queue drained; remaining tasks are in flight elsewhere
+				}
+				res, err := w.exchange(task)
+				if err != nil {
+					// Worker connection failed: requeue and retire.
+					queue <- task
+					mu.Lock()
+					alive--
+					if alive == 0 {
+						failure = fmt.Errorf("mapreduce: all workers failed: last error: %w", err)
+					}
+					mu.Unlock()
+					return
+				}
+				if res.Err != "" {
+					mu.Lock()
+					failure = fmt.Errorf("mapreduce: task %d: %s", task.Seq, res.Err)
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				results[task.Seq] = res
+				done++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failure != nil {
+		return nil, failure
+	}
+	if done != len(tasks) {
+		return nil, errors.New("mapreduce: dispatch finished with straggler tasks")
+	}
+	return results, nil
+}
+
+func (w *workerConn) exchange(task taskMsg) (resultMsg, error) {
+	var res resultMsg
+	if err := w.enc.Encode(&task); err != nil {
+		return res, err
+	}
+	if err := w.dec.Decode(&res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunWorker connects to a master and serves tasks until the master
+// closes the connection, at which point it returns nil. Jobs must have
+// been Registered in this process.
+func RunWorker(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mapreduce: dial master: %w", err)
+	}
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var task taskMsg
+		if err := dec.Decode(&task); err != nil {
+			return nil // master closed the connection: clean shutdown
+		}
+		res := executeTask(task)
+		if err := enc.Encode(&res); err != nil {
+			return fmt.Errorf("mapreduce: send result: %w", err)
+		}
+	}
+}
+
+// executeTask runs one map or reduce task against the local registry
+// (or factory, for closure-free jobs).
+func executeTask(task taskMsg) resultMsg {
+	res := resultMsg{Seq: task.Seq}
+	job, err := resolveJob(task.JobName, task.Conf)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	switch task.Phase {
+	case "map":
+		var local []Pair
+		emit := func(k string, v []byte) { local = append(local, Pair{k, v}) }
+		for _, rec := range task.Records {
+			if err := job.Map(rec.Key, rec.Value, emit); err != nil {
+				res.Err = err.Error()
+				return res
+			}
+		}
+		if job.Combine != nil {
+			combined, err := runCombine(job.Combine, local)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			local = combined
+		}
+		parts := make([][]Pair, task.NumReducers)
+		for _, p := range local {
+			idx := job.partition(p.Key)
+			parts[idx] = append(parts[idx], p)
+		}
+		res.Parts = parts
+	case "reduce":
+		pairs := task.Records
+		sortPairs(pairs)
+		var out []Pair
+		err := groupSorted(pairs, func(key string, values [][]byte) error {
+			return job.Reduce(key, values, func(k string, v []byte) {
+				out = append(out, Pair{k, v})
+			})
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Parts = [][]Pair{out}
+	default:
+		res.Err = fmt.Sprintf("unknown phase %q", task.Phase)
+	}
+	return res
+}

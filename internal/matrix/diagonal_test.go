@@ -1,0 +1,110 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowSums(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := RowSums(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.At(0) != 3 || d.At(1) != 7 {
+		t.Fatalf("RowSums = %v %v", d.At(0), d.At(1))
+	}
+	if _, err := RowSums(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+}
+
+func TestInvSqrt(t *testing.T) {
+	d := NewDiagonal([]float64{4, 0, -1, 0.25})
+	inv := d.InvSqrt()
+	if inv.At(0) != 0.5 {
+		t.Fatalf("InvSqrt(4) = %v", inv.At(0))
+	}
+	if inv.At(1) != 0 || inv.At(2) != 0 {
+		t.Fatal("non-positive entries must map to 0")
+	}
+	if inv.At(3) != 2 {
+		t.Fatalf("InvSqrt(0.25) = %v", inv.At(3))
+	}
+}
+
+func TestScaleSymMatchesDenseProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomDense(rng, 4, 4)
+	dvals := []float64{1, 2, 3, 4}
+	d := NewDiagonal(dvals)
+	got, err := d.ScaleSym(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := Mul(d.Dense(), s)
+	want, _ := Mul(ds, d.Dense())
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("ScaleSym mismatch:\n%v\n%v", got, want)
+	}
+	if _, err := d.ScaleSym(NewDense(3, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestScaleSymDoesNotMutateInput(t *testing.T) {
+	s, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	before := s.Clone()
+	d := NewDiagonal([]float64{2, 3})
+	if _, err := d.ScaleSym(s); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s, before, 0) {
+		t.Fatal("ScaleSym must not mutate its argument")
+	}
+}
+
+// Property: the normalized Laplacian D^{-1/2} S D^{-1/2} of a symmetric
+// matrix with positive row sums is symmetric with diagonal-dominant
+// eigenstructure bounded by 1 in row-sum norm for row-stochastic-like S.
+func TestPropNormalizedLaplacianSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		s := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.Float64() + 0.01 // strictly positive similarities
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+		deg, err := RowSums(s)
+		if err != nil {
+			return false
+		}
+		l, err := deg.InvSqrt().ScaleSym(s)
+		if err != nil {
+			return false
+		}
+		if !l.IsSymmetric(1e-9) {
+			return false
+		}
+		// Largest eigenvalue of the normalized similarity is 1, so all
+		// entries must lie in [-1, 1] up to rounding.
+		return l.MaxAbs() <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalDense(t *testing.T) {
+	d := NewDiagonal([]float64{1, 2})
+	m := d.Dense()
+	want, _ := FromRows([][]float64{{1, 0}, {0, 2}})
+	if !Equal(m, want, 0) {
+		t.Fatalf("Dense = %v", m)
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"repro/internal/matrix"
+)
+
+// Silhouette computes the mean silhouette coefficient of the labeled
+// points: for each point, (b-a)/max(a,b) where a is its mean distance
+// to its own cluster and b the smallest mean distance to another
+// cluster. Values near 1 indicate tight, well-separated clusters; near
+// 0, overlapping ones; negative, likely misassignment. O(N^2), so the
+// harness samples at large N.
+//
+// Single-cluster labelings return 0 (the coefficient is undefined, and
+// 0 is the conventional neutral value). Singleton clusters contribute
+// 0 for their lone member, per the standard definition.
+func Silhouette(points *matrix.Dense, labels []int) (float64, error) {
+	_, members, err := centroids(points, labels)
+	if err != nil {
+		return 0, err
+	}
+	if len(members) <= 1 {
+		return 0, nil
+	}
+	clusterOf := make([]int, points.Rows())
+	for c, idxs := range members {
+		for _, i := range idxs {
+			clusterOf[i] = c
+		}
+	}
+	var total float64
+	n := points.Rows()
+	meanDist := make([]float64, len(members))
+	counts := make([]int, len(members))
+	for i := 0; i < n; i++ {
+		for c := range meanDist {
+			meanDist[c] = 0
+			counts[c] = 0
+		}
+		xi := points.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			c := clusterOf[j]
+			meanDist[c] += matrix.Dist(xi, points.Row(j))
+			counts[c]++
+		}
+		own := clusterOf[i]
+		if counts[own] == 0 {
+			continue // singleton: contributes 0
+		}
+		a := meanDist[own] / float64(counts[own])
+		b := -1.0
+		for c := range meanDist {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if d := meanDist[c] / float64(counts[c]); b < 0 || d < b {
+				b = d
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			total += (b - a) / max
+		}
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,200 @@
+// Package sparse provides a compressed sparse row (CSR) matrix with
+// the operations the sparse spectral-clustering path needs: symmetric
+// construction from coordinate triplets, matrix-vector products, row
+// sums, and symmetric diagonal scaling. The PSC baseline's t-NN
+// similarity graph and any user-supplied sparse affinity run through
+// this package.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// CSR is an immutable n x n sparse matrix in compressed sparse row
+// form: row i's entries live in cols/vals[rowPtr[i]:rowPtr[i+1]],
+// column-sorted.
+type CSR struct {
+	n      int
+	rowPtr []int
+	cols   []int
+	vals   []float64
+}
+
+// Triplet is one coordinate-form entry.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds an n x n CSR matrix from triplets. Duplicate (row,col)
+// entries are summed. Entries with Val == 0 are dropped.
+func NewCSR(n int, entries []Triplet) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d", n)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, n, n)
+		}
+	}
+	sorted := append([]Triplet(nil), entries...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	m := &CSR{n: n, rowPtr: make([]int, n+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		var sum float64
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		if sum != 0 {
+			m.cols = append(m.cols, sorted[i].Col)
+			m.vals = append(m.vals, sum)
+			m.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m, nil
+}
+
+// Symmetrized returns a CSR containing, for every stored entry (i,j,v),
+// both (i,j,v) and (j,i,v); duplicate coordinates keep the larger
+// magnitude (the OR-symmetrization of t-NN graphs).
+func Symmetrized(n int, entries []Triplet) (*CSR, error) {
+	seen := make(map[[2]int]float64, len(entries)*2)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, n, n)
+		}
+		keep := func(r, c int, v float64) {
+			key := [2]int{r, c}
+			if old, ok := seen[key]; !ok || abs(v) > abs(old) {
+				seen[key] = v
+			}
+		}
+		keep(e.Row, e.Col, e.Val)
+		keep(e.Col, e.Row, e.Val)
+	}
+	out := make([]Triplet, 0, len(seen))
+	for key, v := range seen {
+		out = append(out, Triplet{key[0], key[1], v})
+	}
+	return NewCSR(n, out)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// N returns the dimension.
+func (m *CSR) N() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// Bytes models storage at 4 bytes per value plus 4 per column index,
+// the accounting the paper's Figure 6(b) uses for sparse baselines.
+func (m *CSR) Bytes() int64 { return int64(m.NNZ()) * 8 }
+
+// At returns the (i,j) entry (zero when absent).
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %d", i, j, m.n))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := lo + sort.SearchInts(m.cols[lo:hi], j)
+	if idx < hi && m.cols[idx] == j {
+		return m.vals[idx]
+	}
+	return 0
+}
+
+// MulVec computes dst = M*src. Lengths must equal N.
+func (m *CSR) MulVec(dst, src []float64) error {
+	if len(dst) != m.n || len(src) != m.n {
+		return errors.New("sparse: MulVec length mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			s += m.vals[idx] * src[m.cols[idx]]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// RowSums returns the vector of row sums (degrees for affinity graphs).
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		var s float64
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			s += m.vals[idx]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ScaleSym returns a new CSR with entry (i,j) multiplied by d[i]*d[j] —
+// the sparse analogue of the normalized-Laplacian scaling.
+func (m *CSR) ScaleSym(d []float64) (*CSR, error) {
+	if len(d) != m.n {
+		return nil, errors.New("sparse: ScaleSym length mismatch")
+	}
+	out := &CSR{
+		n:      m.n,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		cols:   append([]int(nil), m.cols...),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for i := 0; i < m.n; i++ {
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			out.vals[idx] = m.vals[idx] * d[i] * d[m.cols[idx]]
+		}
+	}
+	return out, nil
+}
+
+// Dense materializes the matrix (tests and small problems only).
+func (m *CSR) Dense() *matrix.Dense {
+	out := matrix.NewDense(m.n, m.n)
+	for i := 0; i < m.n; i++ {
+		row := out.Row(i)
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			row[m.cols[idx]] = m.vals[idx]
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether the stored pattern and values are
+// symmetric within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.n; i++ {
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			j := m.cols[idx]
+			d := m.vals[idx] - m.At(j, i)
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestNewCSRBasics(t *testing.T) {
+	m, err := NewCSR(3, []Triplet{
+		{0, 1, 2}, {1, 0, 2}, {2, 2, 5}, {0, 1, 1}, // duplicate sums to 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 || m.NNZ() != 3 {
+		t.Fatalf("N=%d NNZ=%d", m.N(), m.NNZ())
+	}
+	if m.At(0, 1) != 3 || m.At(1, 0) != 2 || m.At(2, 2) != 5 {
+		t.Fatalf("entries: %v %v %v", m.At(0, 1), m.At(1, 0), m.At(2, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("absent entry must be 0")
+	}
+	if m.Bytes() != 24 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	if _, err := NewCSR(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+	if _, err := NewCSR(2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+	if _, err := NewCSR(2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range col")
+	}
+}
+
+func TestNewCSRDropsZeros(t *testing.T) {
+	m, err := NewCSR(2, []Triplet{{0, 0, 1}, {0, 0, -1}, {1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled entry dropped)", m.NNZ())
+	}
+}
+
+func TestSymmetrized(t *testing.T) {
+	m, err := Symmetrized(3, []Triplet{{0, 1, 0.5}, {1, 0, 0.9}, {2, 0, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1)/(1,0): keep the larger magnitude 0.9 on both sides.
+	if m.At(0, 1) != 0.9 || m.At(1, 0) != 0.9 {
+		t.Fatalf("symmetrization: %v %v", m.At(0, 1), m.At(1, 0))
+	}
+	if m.At(0, 2) != 0.2 || m.At(2, 0) != 0.2 {
+		t.Fatal("missing mirrored entry")
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("must be symmetric")
+	}
+	if _, err := Symmetrized(1, []Triplet{{0, 5, 1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20
+	var entries []Triplet
+	for i := 0; i < 60; i++ {
+		entries = append(entries, Triplet{rng.Intn(n), rng.Intn(n), rng.NormFloat64()})
+	}
+	m, err := NewCSR(n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	if err := m.MulVec(got, x); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Dense().MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := m.MulVec(make([]float64, 3), x); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestRowSumsAndScaleSym(t *testing.T) {
+	m, err := NewCSR(2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 2 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	scaled, err := m.ScaleSym([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.At(0, 1) != 2*2*3 || scaled.At(0, 0) != 1*2*2 {
+		t.Fatalf("ScaleSym: %v %v", scaled.At(0, 1), scaled.At(0, 0))
+	}
+	// Original untouched.
+	if m.At(0, 1) != 2 {
+		t.Fatal("ScaleSym must not mutate")
+	}
+	if _, err := m.ScaleSym([]float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m, _ := NewCSR(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.At(1, 0)
+}
+
+// Property: CSR round-trips through Dense.
+func TestPropDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		var entries []Triplet
+		for i := 0; i < rng.Intn(40); i++ {
+			entries = append(entries, Triplet{rng.Intn(n), rng.Intn(n), float64(1 + rng.Intn(9))})
+		}
+		m, err := NewCSR(n, entries)
+		if err != nil {
+			return false
+		}
+		d := m.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: symmetrized matrices have symmetric MulVec quadratic forms:
+// x^T M y == y^T M x.
+func TestPropSymmetrizedQuadraticForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		var entries []Triplet
+		for i := 0; i < rng.Intn(30); i++ {
+			entries = append(entries, Triplet{rng.Intn(n), rng.Intn(n), rng.Float64()})
+		}
+		m, err := Symmetrized(n, entries)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		mx := make([]float64, n)
+		my := make([]float64, n)
+		if m.MulVec(mx, x) != nil || m.MulVec(my, y) != nil {
+			return false
+		}
+		return math.Abs(matrix.Dot(y, mx)-matrix.Dot(x, my)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// denseToCSR converts a dense similarity matrix into CSR triplets.
+func denseToCSR(t *testing.T, s *matrix.Dense) *sparse.CSR {
+	t.Helper()
+	var trip []sparse.Triplet
+	for i := 0; i < s.Rows(); i++ {
+		for j, v := range s.Row(i) {
+			if v != 0 {
+				trip = append(trip, sparse.Triplet{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	m, err := sparse.NewCSR(s.Rows(), trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClusterSparseMatchesDenseOnBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, truth := makeBlobs(rng, 3, 30, 3, 6, 0.2)
+	s := kernel.Gram(pts, kernel.Gaussian(1))
+	csr := denseToCSR(t, s)
+
+	sp, err := ClusterSparse(csr, Config{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameParition(truth, sp.Labels) {
+		t.Fatal("sparse path must recover blobs")
+	}
+	if len(sp.Eigenvalues) != 3 {
+		t.Fatalf("eigenvalues = %v", sp.Eigenvalues)
+	}
+}
+
+func TestClusterSparseValidation(t *testing.T) {
+	empty, err := sparse.NewCSR(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterSparse(empty, Config{K: 2})
+	if err != nil || len(res.Labels) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	one, _ := sparse.NewCSR(2, []sparse.Triplet{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1}})
+	if _, err := ClusterSparse(one, Config{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	// K >= n gives singletons.
+	res, err = ClusterSparse(one, Config{K: 5})
+	if err != nil || res.Labels[0] == res.Labels[1] {
+		t.Fatalf("K>=n: %v %v", res, err)
+	}
+}
+
+func TestClusterSparseIsolatedVertex(t *testing.T) {
+	// Vertex 2 has no edges: zero degree must not produce NaNs.
+	g, err := sparse.NewCSR(3, []sparse.Triplet{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterSparse(g, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Embedding.Data() {
+		if v != v { // NaN check
+			t.Fatal("NaN in sparse embedding")
+		}
+	}
+	if len(res.Labels) != 3 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+}

@@ -1,0 +1,103 @@
+// Package spectral implements the Ng–Jordan–Weiss spectral clustering
+// algorithm on a precomputed similarity matrix: normalized Laplacian
+// (Eq. 2), top-K eigenvectors, row normalization, K-means. It is the
+// kernel-based machine learning stage that DASC runs per bucket and
+// that the SC baseline runs on the full Gram matrix.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kmeans"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// Config controls one spectral-clustering invocation.
+type Config struct {
+	// K is the number of clusters (and eigenvectors). Required.
+	K int
+	// Seed feeds the K-means stage.
+	Seed int64
+	// KMeansIter bounds Lloyd iterations (default 100).
+	KMeansIter int
+}
+
+// Result carries the clustering plus the spectral intermediates that
+// the evaluation metrics need.
+type Result struct {
+	// Labels[i] is the cluster of row i of the similarity matrix.
+	Labels []int
+	// Eigenvalues of the normalized Laplacian, descending, length K.
+	Eigenvalues []float64
+	// Embedding is the row-normalized eigenvector matrix (n x K) that
+	// K-means ran on.
+	Embedding *matrix.Dense
+	// Inertia of the final K-means solution.
+	Inertia float64
+}
+
+// ErrBadInput reports an unusable similarity matrix or configuration.
+var ErrBadInput = errors.New("spectral: bad input")
+
+// Cluster runs spectral clustering on the similarity matrix s.
+func Cluster(s *matrix.Dense, cfg Config) (*Result, error) {
+	n := s.Rows()
+	if s.Cols() != n {
+		return nil, fmt.Errorf("%w: similarity matrix %dx%d not square", ErrBadInput, n, s.Cols())
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("%w: K=%d", ErrBadInput, cfg.K)
+	}
+	if n == 0 {
+		return &Result{Labels: []int{}, Eigenvalues: []float64{}, Embedding: matrix.NewDense(0, 0)}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	// Degenerate but legal: every point its own cluster.
+	if k == n {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		return &Result{Labels: labels, Eigenvalues: make([]float64, k), Embedding: matrix.NewDense(n, k)}, nil
+	}
+
+	lap, err := Laplacian(s)
+	if err != nil {
+		return nil, err
+	}
+	vals, vecs, err := linalg.TopKEigenSym(lap, k)
+	if err != nil {
+		return nil, fmt.Errorf("spectral: eigendecomposition: %w", err)
+	}
+	matrix.NormalizeRows(vecs)
+
+	km, err := kmeans.Run(vecs, kmeans.Config{K: k, Seed: cfg.Seed, MaxIter: cfg.KMeansIter})
+	if err != nil {
+		return nil, fmt.Errorf("spectral: kmeans: %w", err)
+	}
+	return &Result{
+		Labels:      km.Labels,
+		Eigenvalues: vals,
+		Embedding:   vecs,
+		Inertia:     km.Inertia,
+	}, nil
+}
+
+// Laplacian computes the normalized Laplacian L = D^{-1/2} S D^{-1/2}
+// of Eq. 2, where D is the diagonal row-sum (degree) matrix of S.
+func Laplacian(s *matrix.Dense) (*matrix.Dense, error) {
+	deg, err := matrix.RowSums(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	lap, err := deg.InvSqrt().ScaleSym(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return lap, nil
+}

@@ -1,0 +1,98 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// StripHTML removes tags and script/style bodies from an HTML fragment,
+// returning the raw text with tags replaced by spaces (step (i) of the
+// paper's cleaning pipeline).
+func StripHTML(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	inTag := false
+	var skipUntil string // closing tag that ends a skipped element
+	i := 0
+	lower := strings.ToLower(s)
+	for i < len(s) {
+		c := s[i]
+		if !inTag && c == '<' {
+			if skipUntil == "" {
+				for _, elem := range []string{"script", "style"} {
+					open := "<" + elem
+					if strings.HasPrefix(lower[i:], open) {
+						skipUntil = "</" + elem
+						break
+					}
+				}
+			} else if strings.HasPrefix(lower[i:], skipUntil) {
+				skipUntil = ""
+			}
+			inTag = true
+			i++
+			continue
+		}
+		if inTag {
+			if c == '>' {
+				inTag = false
+				sb.WriteByte(' ')
+			}
+			i++
+			continue
+		}
+		if skipUntil != "" {
+			i++
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+// Tokenize lower-cases the text and splits it on any non-letter rune,
+// covering steps (ii) and (iii): case folding and punctuation removal.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r)
+	})
+}
+
+// stopWords is a compact English stop-word list concatenated, as the
+// paper describes, from the common lists used by search engines.
+var stopWords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+a about above after again against all am an and any are aren as at be
+because been before being below between both but by can cannot could
+couldn did didn do does doesn doing don down during each few for from
+further had hadn has hasn have haven having he her here hers herself him
+himself his how i if in into is isn it its itself let me more most mustn
+my myself no nor not of off on once only or other ought our ours
+ourselves out over own same shan she should shouldn so some such than
+that the their theirs them themselves then there these they this those
+through to too under until up very was wasn we were weren what when
+where which while who whom why with won would wouldn you your yours
+yourself yourselves`) {
+		stopWords[w] = true
+	}
+}
+
+// IsStopWord reports whether the lower-case token is on the stop list.
+func IsStopWord(w string) bool { return stopWords[w] }
+
+// Clean runs the full pipeline on raw HTML: strip tags, tokenize,
+// drop stop words and single-letter tokens, and stem what remains.
+func Clean(html string) []string {
+	toks := Tokenize(StripHTML(html))
+	out := toks[:0]
+	for _, t := range toks {
+		if len(t) < 2 || IsStopWord(t) {
+			continue
+		}
+		out = append(out, PorterStem(t))
+	}
+	return out
+}

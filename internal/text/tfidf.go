@@ -1,0 +1,165 @@
+package text
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Weighting selects the tf-idf variant a Vectorizer uses.
+type Weighting int
+
+const (
+	// StandardTFIDF uses raw term frequency and ln(N/df) — the classic
+	// scheme the paper's §5.2 describes.
+	StandardTFIDF Weighting = iota
+	// SublinearTFIDF dampens term frequency to 1+ln(tf), the standard
+	// remedy when a single repeated term dominates a document.
+	SublinearTFIDF
+	// SmoothTFIDF uses ln((1+N)/(1+df)) + 1, which never zeroes a term
+	// that appears in every document — useful for tiny corpora.
+	SmoothTFIDF
+)
+
+func (w Weighting) String() string {
+	switch w {
+	case StandardTFIDF:
+		return "standard"
+	case SublinearTFIDF:
+		return "sublinear"
+	case SmoothTFIDF:
+		return "smooth"
+	default:
+		return "Weighting(?)"
+	}
+}
+
+// Vectorizer converts cleaned token streams into fixed-width tf-idf
+// feature vectors over the F most important corpus terms, reproducing
+// the paper's F=11 document representation (§5.2).
+type Vectorizer struct {
+	// Terms is the selected vocabulary, in rank order.
+	Terms []string
+	// IDF[i] is the inverse document frequency of Terms[i].
+	IDF []float64
+	// Scheme is the weighting variant used by Transform.
+	Scheme Weighting
+
+	index map[string]int
+}
+
+// FitVectorizer ranks all terms of the corpus by summed tf-idf weight
+// and keeps the top f. docs holds the cleaned tokens of each document.
+func FitVectorizer(docs [][]string, f int) (*Vectorizer, error) {
+	return FitVectorizerScheme(docs, f, StandardTFIDF)
+}
+
+// FitVectorizerScheme is FitVectorizer with an explicit weighting.
+func FitVectorizerScheme(docs [][]string, f int, scheme Weighting) (*Vectorizer, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("text: empty corpus")
+	}
+	if f < 1 {
+		return nil, errors.New("text: vocabulary size must be positive")
+	}
+	n := float64(len(docs))
+	df := map[string]int{}
+	tfTotal := map[string]float64{}
+	for _, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		seen := map[string]int{}
+		for _, t := range doc {
+			seen[t]++
+		}
+		invLen := 1 / float64(len(doc))
+		for t, c := range seen {
+			df[t]++
+			tfTotal[t] += float64(c) * invLen
+		}
+	}
+	if len(df) == 0 {
+		return nil, errors.New("text: corpus has no usable terms")
+	}
+	idfOf := func(d int) float64 {
+		switch scheme {
+		case SmoothTFIDF:
+			return math.Log((1+n)/(1+float64(d))) + 1
+		default:
+			idf := math.Log(n / float64(d))
+			if idf <= 0 {
+				// Terms in every document carry no discriminative
+				// weight; keep a small epsilon so tiny corpora still
+				// vectorize.
+				idf = 1e-9
+			}
+			return idf
+		}
+	}
+	type scored struct {
+		term  string
+		score float64
+	}
+	all := make([]scored, 0, len(df))
+	for t, d := range df {
+		all = append(all, scored{t, tfTotal[t] * idfOf(d)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].term < all[b].term
+	})
+	if f > len(all) {
+		f = len(all)
+	}
+	v := &Vectorizer{
+		Terms:  make([]string, f),
+		IDF:    make([]float64, f),
+		Scheme: scheme,
+		index:  make(map[string]int, f),
+	}
+	for i := 0; i < f; i++ {
+		t := all[i].term
+		v.Terms[i] = t
+		v.IDF[i] = idfOf(df[t])
+		v.index[t] = i
+	}
+	return v, nil
+}
+
+// Transform maps each document to its L2-normalized tf-idf vector over
+// the fitted vocabulary. Documents with no vocabulary terms map to the
+// zero vector.
+func (v *Vectorizer) Transform(docs [][]string) *matrix.Dense {
+	out := matrix.NewDense(len(docs), len(v.Terms))
+	for i, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		row := out.Row(i)
+		invLen := 1 / float64(len(doc))
+		if v.Scheme == SublinearTFIDF {
+			counts := map[int]int{}
+			for _, t := range doc {
+				if j, ok := v.index[t]; ok {
+					counts[j]++
+				}
+			}
+			for j, c := range counts {
+				row[j] = (1 + math.Log(float64(c))) * v.IDF[j]
+			}
+		} else {
+			for _, t := range doc {
+				if j, ok := v.index[t]; ok {
+					row[j] += invLen * v.IDF[j]
+				}
+			}
+		}
+		matrix.Normalize(row)
+	}
+	return out
+}

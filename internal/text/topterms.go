@@ -1,0 +1,94 @@
+package text
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// VectorizeTopTerms implements the paper's document representation
+// (§5.2): each document is reduced to its F most important terms by
+// tf-idf ("after ranking all terms based on their tf-idf values, we
+// used the first F terms", with F = 11), and the feature space is the
+// union of all kept terms. The returned matrix holds one L2-normalized
+// tf-idf row per document over that union vocabulary, in the returned
+// term order.
+func VectorizeTopTerms(docs [][]string, f int) (*matrix.Dense, []string, error) {
+	if len(docs) == 0 {
+		return nil, nil, errors.New("text: empty corpus")
+	}
+	if f < 1 {
+		return nil, nil, errors.New("text: F must be positive")
+	}
+	n := float64(len(docs))
+	df := map[string]int{}
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		for _, t := range doc {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	if len(df) == 0 {
+		return nil, nil, errors.New("text: corpus has no usable terms")
+	}
+	idf := func(t string) float64 {
+		v := math.Log(n / float64(df[t]))
+		if v <= 0 {
+			v = 1e-9
+		}
+		return v
+	}
+
+	type weighted struct {
+		term string
+		w    float64
+	}
+	kept := make([][]weighted, len(docs))
+	vocabIndex := map[string]int{}
+	var vocab []string
+	for i, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		tf := map[string]int{}
+		for _, t := range doc {
+			tf[t]++
+		}
+		ws := make([]weighted, 0, len(tf))
+		invLen := 1 / float64(len(doc))
+		for t, c := range tf {
+			ws = append(ws, weighted{t, float64(c) * invLen * idf(t)})
+		}
+		sort.Slice(ws, func(a, b int) bool {
+			if ws[a].w != ws[b].w {
+				return ws[a].w > ws[b].w
+			}
+			return ws[a].term < ws[b].term
+		})
+		if len(ws) > f {
+			ws = ws[:f]
+		}
+		kept[i] = ws
+		for _, w := range ws {
+			if _, ok := vocabIndex[w.term]; !ok {
+				vocabIndex[w.term] = len(vocab)
+				vocab = append(vocab, w.term)
+			}
+		}
+	}
+
+	m := matrix.NewDense(len(docs), len(vocab))
+	for i, ws := range kept {
+		row := m.Row(i)
+		for _, w := range ws {
+			row[vocabIndex[w.term]] = w.w
+		}
+		matrix.Normalize(row)
+	}
+	return m, vocab, nil
+}
