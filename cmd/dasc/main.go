@@ -45,7 +45,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // input file, read-only
 		input = f
 	}
 	l, err := dataset.ReadCSV(input)
@@ -138,7 +138,11 @@ func runOverTCP(l *dataset.Labeled, cfg core.Config, workers int) (*core.Result,
 	if err != nil {
 		return nil, err
 	}
-	defer master.Close()
+	defer func() {
+		if err := master.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "master close:", err)
+		}
+	}()
 	for i := 0; i < workers; i++ {
 		go func() {
 			if err := mapreduce.RunWorker(master.Addr()); err != nil {
@@ -157,7 +161,11 @@ func runShipped(l *dataset.Labeled, cfg core.Config, listen string, workers int)
 	if err != nil {
 		return nil, err
 	}
-	defer master.Close()
+	defer func() {
+		if err := master.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "master close:", err)
+		}
+	}()
 	fmt.Printf("master listening on %s; start %d x `dascworker -master %s`\n",
 		master.Addr(), workers, master.Addr())
 	return core.ClusterMapReduceShipped(l.Points, cfg, master)

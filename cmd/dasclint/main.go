@@ -1,0 +1,133 @@
+// Command dasclint runs the DASC project's static-analysis suite
+// (internal/lint) over the module: floatcmp, errcheck-gob,
+// goroutine-guard, mutexcopy, and panicfree.
+//
+// Usage:
+//
+//	go run ./cmd/dasclint [-json] [-list] [packages...]
+//
+// Package arguments are directory patterns relative to the current
+// directory: "./..." (the default) lints the whole module, "./internal/lint"
+// one package, "./internal/..." a subtree. Diagnostics print as
+//
+//	file:line:col: analyzer: message
+//
+// and the exit status is 0 when the tree is clean, 1 when findings were
+// reported, and 2 when the module failed to load or type-check.
+//
+// A finding can be suppressed on a specific line — with a mandatory
+// reason — by a trailing or preceding comment:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := run(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dasclint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dasclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dasclint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]lint.Diagnostic, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	diags := lint.Run(loader.Fset, pkgs, lint.All)
+	return filterByPatterns(diags, cwd, patterns)
+}
+
+// filterByPatterns keeps diagnostics whose file falls under one of the
+// requested directory patterns. No patterns (or "./...") means keep
+// everything.
+func filterByPatterns(diags []lint.Diagnostic, cwd string, patterns []string) ([]lint.Diagnostic, error) {
+	if len(patterns) == 0 {
+		return diags, nil
+	}
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			return diags, nil
+		}
+		subtree := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, subtree = rest, true
+		}
+		dir := p
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", p)
+		}
+		rules = append(rules, rule{dir: filepath.Clean(dir), subtree: subtree})
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		fileDir := filepath.Dir(d.File)
+		for _, r := range rules {
+			if fileDir == r.dir || (r.subtree && strings.HasPrefix(fileDir, r.dir+string(filepath.Separator))) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out, nil
+}

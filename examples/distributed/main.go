@@ -35,7 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer master.Close()
+	defer func() {
+		if err := master.Close(); err != nil {
+			log.Println("master close:", err)
+		}
+	}()
 	for i := 0; i < 4; i++ {
 		go func() {
 			if err := mapreduce.RunWorker(master.Addr()); err != nil {

@@ -50,7 +50,7 @@ func main() {
 	// resampling the measured bucket distribution).
 	fmt.Printf("%-8s %-14s %-14s %s\n", "nodes", "total time", "memory", "speedup")
 	var base float64
-	for _, nodes := range []int{1, 2, 4, 8} {
+	for step, nodes := range []int{1, 2, 4, 8} {
 		cluster, err := emr.NewCluster(nodes)
 		if err != nil {
 			log.Fatal(err)
@@ -59,7 +59,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if base == 0 {
+		if step == 0 {
 			base = rep.TotalTime
 		}
 		fmt.Printf("%-8d %-14s %-14s %.2fx\n",

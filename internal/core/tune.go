@@ -62,7 +62,7 @@ func TuneM(points *matrix.Dense, cfg Config, minFnormRatio float64, samplePairs 
 		pairs = append(pairs, p)
 		fullSq += p.v2
 	}
-	if fullSq == 0 {
+	if matrix.IsZero(fullSq) {
 		return 0, nil, fmt.Errorf("core: sampled similarities are all zero; bandwidth %v too small", sigma)
 	}
 

@@ -88,13 +88,13 @@ func Generate(cfg Config) (*Corpus, error) {
 	if cfg.CharTerms == 0 {
 		cfg.CharTerms = 12
 	}
-	if cfg.Focus == 0 {
+	if matrix.IsZero(cfg.Focus) {
 		cfg.Focus = 0.7
 	}
 	if cfg.Focus < 0 || cfg.Focus > 1 {
 		return nil, fmt.Errorf("corpus: Focus=%v out of [0,1]", cfg.Focus)
 	}
-	if cfg.TopicWeight == 0 {
+	if matrix.IsZero(cfg.TopicWeight) {
 		cfg.TopicWeight = 0.55
 	}
 	if cfg.TopicWeight < 0 || cfg.TopicWeight > 1 {

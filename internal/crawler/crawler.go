@@ -63,7 +63,9 @@ func (c *Crawler) Crawl(baseURL, indexPath string) (*Result, error) {
 		if err != nil {
 			return "", fmt.Errorf("crawler: get %s: %w", path, err)
 		}
-		defer resp.Body.Close()
+		// The body is fully drained below; the close error of a read-only
+		// response carries no signal.
+		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusOK {
 			return "", fmt.Errorf("crawler: get %s: status %d", path, resp.StatusCode)
 		}

@@ -58,7 +58,7 @@ func Mixture(cfg MixtureConfig) (*Labeled, error) {
 	if cfg.K < 1 || cfg.K > cfg.N {
 		return nil, fmt.Errorf("dataset: K=%d out of range [1,%d]", cfg.K, cfg.N)
 	}
-	if cfg.Noise == 0 {
+	if matrix.IsZero(cfg.Noise) {
 		cfg.Noise = 0.05
 	}
 	if cfg.Noise < 0 {

@@ -24,7 +24,7 @@ type Func func(x, y []float64) float64
 // exp(-||x-y||^2 / (2 sigma^2)). It panics if sigma <= 0.
 func Gaussian(sigma float64) Func {
 	if sigma <= 0 {
-		panic(fmt.Sprintf("kernel: sigma %v must be positive", sigma))
+		matrix.Panicf("kernel: sigma %v must be positive", sigma)
 	}
 	inv := 1 / (2 * sigma * sigma)
 	return func(x, y []float64) float64 {
@@ -37,7 +37,7 @@ func Gaussian(sigma float64) Func {
 // positive integer, gamma positive.
 func Polynomial(degree int, gamma, c float64) Func {
 	if degree < 1 || gamma <= 0 {
-		panic(fmt.Sprintf("kernel: polynomial degree %d gamma %v", degree, gamma))
+		matrix.Panicf("kernel: polynomial degree %d gamma %v", degree, gamma)
 	}
 	return func(x, y []float64) float64 {
 		base := gamma*matrix.Dot(x, y) + c
@@ -55,7 +55,7 @@ func Polynomial(degree int, gamma, c float64) Func {
 func Cosine() Func {
 	return func(x, y []float64) float64 {
 		nx, ny := matrix.Norm2(x), matrix.Norm2(y)
-		if nx == 0 || ny == 0 {
+		if matrix.IsZero(nx) || matrix.IsZero(ny) {
 			return 0
 		}
 		return matrix.Dot(x, y) / (nx * ny)

@@ -141,7 +141,7 @@ func seedKernelPlusPlus(gram *matrix.Dense, k int, rng *rand.Rand) []int {
 	// normalized kernels used here is 1. A nonzero stored diagonal is
 	// used as-is.
 	self := func(i int) float64 {
-		if v := gram.At(i, i); v != 0 {
+		if v := gram.At(i, i); !matrix.IsZero(v) {
 			return v
 		}
 		return 1

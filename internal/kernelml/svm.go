@@ -57,13 +57,13 @@ func TrainSVM(gram *matrix.Dense, y []int, cfg SVMConfig) (*SVM, error) {
 			return nil, errors.New("kernelml: SVM labels must be -1 or +1")
 		}
 	}
-	if cfg.C == 0 {
+	if matrix.IsZero(cfg.C) {
 		cfg.C = 1
 	}
 	if cfg.C < 0 {
 		return nil, fmt.Errorf("kernelml: C=%v", cfg.C)
 	}
-	if cfg.Tol == 0 {
+	if matrix.IsZero(cfg.Tol) {
 		cfg.Tol = 1e-3
 	}
 	if cfg.MaxPasses == 0 {
@@ -77,7 +77,7 @@ func TrainSVM(gram *matrix.Dense, y []int, cfg SVMConfig) (*SVM, error) {
 		var s float64
 		row := gram.Row(i)
 		for j, a := range alpha {
-			if a != 0 {
+			if !matrix.IsZero(a) {
 				s += a * float64(y[j]) * row[j]
 			}
 		}
@@ -107,7 +107,7 @@ func TrainSVM(gram *matrix.Dense, y []int, cfg SVMConfig) (*SVM, error) {
 				lo = math.Max(0, aiOld+ajOld-cfg.C)
 				hi = math.Min(cfg.C, aiOld+ajOld)
 			}
-			if lo == hi {
+			if matrix.ApproxEqual(lo, hi, 0) {
 				continue
 			}
 			eta := 2*gram.At(i, j) - gram.At(i, i) - gram.At(j, j)

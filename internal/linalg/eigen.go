@@ -65,7 +65,7 @@ func tred2(z *matrix.Dense, d, e []float64) {
 			for k := 0; k <= l; k++ {
 				scale += math.Abs(ri[k])
 			}
-			if scale == 0 {
+			if matrix.IsZero(scale) {
 				e[i] = ri[l]
 			} else {
 				for k := 0; k <= l; k++ {
@@ -115,7 +115,7 @@ func tred2(z *matrix.Dense, d, e []float64) {
 	for i := 0; i < n; i++ {
 		l := i - 1
 		ri := a[i*n:]
-		if d[i] != 0 {
+		if !matrix.IsZero(d[i]) {
 			for j := 0; j <= l; j++ {
 				var g float64
 				for k := 0; k <= l; k++ {
@@ -151,8 +151,8 @@ func tqli(d, e []float64, z *matrix.Dense) error {
 			m := l
 			for ; m < n-1; m++ {
 				dd := math.Abs(d[m]) + math.Abs(d[m+1])
-				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64*dd ||
-					math.Abs(e[m])+dd == dd {
+				//lint:ignore floatcmp the classic tqli convergence test: e[m] has underflowed exactly when adding it to dd is a no-op
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64*dd || math.Abs(e[m])+dd == dd {
 					break
 				}
 			}
@@ -172,7 +172,7 @@ func tqli(d, e []float64, z *matrix.Dense) error {
 				b := c * e[i]
 				r = math.Hypot(f, g)
 				e[i+1] = r
-				if r == 0 {
+				if matrix.IsZero(r) {
 					d[i+1] -= p
 					e[m] = 0
 					break
@@ -193,7 +193,7 @@ func tqli(d, e []float64, z *matrix.Dense) error {
 					row[i] = c*row[i] - s*f
 				}
 			}
-			if r == 0 && m-1 >= l {
+			if matrix.IsZero(r) && m-1 >= l {
 				continue
 			}
 			d[l] -= p

@@ -108,7 +108,7 @@ func lanczosOnce(op Op, n, k, m int, seed int64) (*LanczosResult, bool, error) {
 		for pass := 0; pass < 2; pass++ {
 			for _, q := range basis {
 				c := matrix.Dot(w, q)
-				if c != 0 {
+				if !matrix.IsZero(c) {
 					matrix.AXPY(-c, q, w)
 				}
 			}
@@ -194,7 +194,7 @@ func PowerIteration(op Op, n int, iters int, seed int64) (float64, []float64) {
 	for it := 0; it < iters; it++ {
 		op(w, v)
 		lambda = matrix.Dot(w, v)
-		if matrix.Normalize(w) == 0 {
+		if matrix.IsZero(matrix.Normalize(w)) {
 			break
 		}
 		v, w = w, v

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroutineGuard reports `go func` literals in internal packages whose
+// body neither signals completion (a Done() call, a channel send, or a
+// channel close) nor installs a deferred recover. A worker goroutine
+// that panics without one of these leaves the job's WaitGroup or result
+// channel waiting forever — the MapReduce master deadlocks instead of
+// failing the job.
+var GoroutineGuard = &Analyzer{
+	Name: "goroutine-guard",
+	Doc: "goroutine literals in internal/ must signal a WaitGroup/channel " +
+		"or defer a recover, so a panicking worker cannot deadlock the job",
+	Run: runGoroutineGuard,
+}
+
+func runGoroutineGuard(pass *Pass) {
+	if !strings.Contains(pass.Path, "/internal/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named function: its body is checked where defined
+			}
+			if !hasCompletionGuard(lit.Body) {
+				pass.Reportf(gostmt.Pos(),
+					"goroutine literal has no completion signal (Done/channel send/close) and no deferred recover; a panic here deadlocks the job")
+			}
+			return true
+		})
+	}
+}
+
+// hasCompletionGuard reports whether body contains any of: a call to a
+// method named Done (WaitGroup-style), a channel send, a close() call,
+// or a recover() inside a defer.
+func hasCompletionGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		case *ast.DeferStmt:
+			if deferRecovers(x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// deferRecovers reports whether the defer statement calls recover,
+// either directly or inside a deferred function literal.
+func deferRecovers(d *ast.DeferStmt) bool {
+	if id, ok := d.Call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	recovers := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				recovers = true
+			}
+		}
+		return !recovers
+	})
+	return recovers
+}

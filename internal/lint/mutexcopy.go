@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy reports by-value copies of structs that contain sync.Mutex,
+// sync.RWMutex, sync.WaitGroup, or other sync primitives (directly or
+// through nested fields and arrays). A copied lock guards nothing: the
+// original and the copy synchronize independently, which in the
+// MapReduce runtime means two goroutines both "holding" the job mutex.
+// Flagged sites: non-pointer parameters, results, and receivers;
+// assignments from an existing value; range value variables; and
+// arguments passed by value.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc: "reject by-value copies of structs containing sync.Mutex, " +
+		"sync.RWMutex, or sync.WaitGroup",
+	Run: runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	seen := map[types.Type]bool{}
+	contains := func(t types.Type) bool { return containsLock(t, seen) }
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					checkFieldList(pass, x.Recv, "receiver", contains)
+				}
+				checkFieldList(pass, x.Type.Params, "parameter", contains)
+				checkFieldList(pass, x.Type.Results, "result", contains)
+			case *ast.FuncLit:
+				checkFieldList(pass, x.Type.Params, "parameter", contains)
+				checkFieldList(pass, x.Type.Results, "result", contains)
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					if copiesLock(pass, rhs, contains) {
+						pass.Reportf(rhs.Pos(), "assignment copies a lock-containing value (type %s)", typeOf(pass, rhs))
+					}
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range x.Values {
+					if copiesLock(pass, rhs, contains) {
+						pass.Reportf(rhs.Pos(), "declaration copies a lock-containing value (type %s)", typeOf(pass, rhs))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					// A `:=` range value is a definition, so its type
+					// lives in Defs rather than Types; TypeOf checks both.
+					if t := pass.Info.TypeOf(x.Value); t != nil && contains(t) {
+						pass.Reportf(x.Value.Pos(), "range value copies a lock-containing value (type %s)", t)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if copiesLock(pass, arg, contains) {
+						pass.Reportf(arg.Pos(), "call argument copies a lock-containing value (type %s)", typeOf(pass, arg))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList reports fields declared with a non-pointer
+// lock-containing type.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string, contains func(types.Type) bool) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if contains(tv.Type) {
+			pass.Reportf(field.Type.Pos(), "%s receives a lock-containing value by value (type %s); use a pointer", kind, tv.Type)
+		}
+	}
+}
+
+// copiesLock reports whether expr reads an existing addressable value
+// whose type contains a lock — the cases where evaluation performs a
+// real copy of a possibly-in-use lock. Fresh composite literals and
+// function results are the callee's responsibility.
+func copiesLock(pass *Pass, expr ast.Expr, contains func(types.Type) bool) bool {
+	switch unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	return contains(tv.Type)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	return pass.Info.Types[e].Type
+}
+
+// lockTypes are the sync primitives that must never be copied after
+// first use.
+var lockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Cond":      true,
+	"Once":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+// containsLock reports whether t is, or transitively contains by value,
+// one of the sync primitives. seen memoizes results and breaks cycles
+// (recursive struct types recurse only through pointers, which stop the
+// walk anyway).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if v, ok := seen[t]; ok {
+		return v
+	}
+	seen[t] = false // break cycles; overwritten below
+	result := false
+	switch x := t.(type) {
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			result = true
+		} else {
+			result = containsLock(x.Underlying(), seen)
+		}
+	case *types.Struct:
+		for i := 0; i < x.NumFields() && !result; i++ {
+			result = containsLock(x.Field(i).Type(), seen)
+		}
+	case *types.Array:
+		result = containsLock(x.Elem(), seen)
+	}
+	seen[t] = result
+	return result
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix starts a suppression comment: //lint:ignore <analyzer>
+// <reason>. The comment silences that analyzer on its own line and on
+// the line directly below it (so it can trail the flagged expression or
+// sit on its own line above).
+const IgnorePrefix = "//lint:ignore"
+
+// Run executes the analyzers over every package, filters findings
+// through //lint:ignore comments, and returns the remaining
+// diagnostics sorted by file, line, column, and analyzer. Malformed
+// ignore comments (missing analyzer or reason) are reported under the
+// pseudo-analyzer "lint".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := suppressions(fset, pkg.Files)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+				if sup[suppressKey{d.File, d.Line, d.Analyzer}] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressKey locates one suppressed (file, line, analyzer) triple.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions scans the files' comments for //lint:ignore directives.
+// Each well-formed directive suppresses its analyzer on the comment's
+// line and the next line; malformed directives are returned as
+// diagnostics.
+func suppressions(fset *token.FileSet, files []*ast.File) (map[suppressKey]bool, []Diagnostic) {
+	sup := map[suppressKey]bool{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				sup[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
+				sup[suppressKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,30 @@
+// Negative fixtures for the errcheck-gob analyzer: nothing here may be
+// flagged.
+package errcheckgob_neg
+
+import (
+	"encoding/gob"
+	"os"
+)
+
+func checked(enc *gob.Encoder, v interface{}) error {
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard(f *os.File, data []byte) {
+	_ = f.Close()
+	_, _ = f.Write(data)
+}
+
+func propagated(dec *gob.Decoder, v interface{}) error {
+	return dec.Decode(v)
+}
+
+type voidEncoder interface{ Encode() }
+
+func noErrorResult(e voidEncoder) {
+	e.Encode() // returns nothing: no error to drop
+}

@@ -1,0 +1,21 @@
+// Positive fixtures for the errcheck-gob analyzer: every discarded
+// error below must be flagged.
+package errcheckgob_pos
+
+import (
+	"encoding/gob"
+	"os"
+)
+
+func dropEncode(enc *gob.Encoder, v interface{}) {
+	enc.Encode(v) // want errcheck-gob "error result of Encode is discarded"
+}
+
+func dropDecode(dec *gob.Decoder, v interface{}) {
+	dec.Decode(v) // want errcheck-gob "error result of Decode is discarded"
+}
+
+func dropCloseAndWrite(f *os.File, data []byte) {
+	defer f.Close() // want errcheck-gob "deferred error result of Close is discarded"
+	f.Write(data)   // want errcheck-gob "error result of Write is discarded"
+}

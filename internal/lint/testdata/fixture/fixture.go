@@ -1,0 +1,12 @@
+// Package fixture is the driver test's target: a small package with
+// one finding per line so the test can assert the exact formatted
+// diagnostics dasclint would print.
+package fixture
+
+func exactEqual(a, b float64) bool {
+	return a == b
+}
+
+func alwaysPanics() {
+	panic("fixture")
+}

@@ -1,0 +1,27 @@
+// Negative fixtures for the floatcmp analyzer: nothing here may be
+// flagged.
+package floatcmp_neg
+
+import "math"
+
+const eps = 1e-9
+
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func strings(a, b string) bool {
+	return a != b
+}
+
+func constFolded() bool {
+	return 1.5 == 1.5 // both operands constant: resolved at compile time
+}
+
+func ordering(a, b float64) bool {
+	return a < b // only == and != are unreliable spellings
+}

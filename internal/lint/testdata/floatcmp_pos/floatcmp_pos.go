@@ -1,0 +1,20 @@
+// Positive fixtures for the floatcmp analyzer: every comparison below
+// must be flagged.
+package floatcmp_pos
+
+func exactEqual(a, b float64) bool {
+	return a == b // want floatcmp "floating-point == comparison"
+}
+
+func exactNotEqual(a float32) bool {
+	var b float32
+	return a != b // want floatcmp "floating-point != comparison"
+}
+
+func zeroLiteral(x float64) bool {
+	return x == 0 // want floatcmp "floating-point == comparison"
+}
+
+func mixedIntFloat(x float64, n int) bool {
+	return x == float64(n) // want floatcmp "floating-point == comparison"
+}

@@ -1,0 +1,41 @@
+// Negative fixtures for the goroutine-guard analyzer: nothing here may
+// be flagged.
+package goroutineguard_neg
+
+import "sync"
+
+func waitGroup(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func channelSend(done chan struct{}, work func()) {
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+}
+
+func channelClose(results chan int) {
+	go func() {
+		close(results)
+	}()
+}
+
+func recovered(work func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+func named() {
+	go namedWorker() // named functions are vetted where they are defined
+}
+
+func namedWorker() {}

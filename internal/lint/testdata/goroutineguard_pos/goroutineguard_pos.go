@@ -1,0 +1,17 @@
+// Positive fixtures for the goroutine-guard analyzer: every goroutine
+// below must be flagged.
+package goroutineguard_pos
+
+func unguarded(work func()) {
+	go func() { // want goroutine-guard "no completion signal"
+		work()
+	}()
+}
+
+func unguardedWithArgs(xs []int) {
+	for i := range xs {
+		go func(i int) { // want goroutine-guard "no completion signal"
+			xs[i]++
+		}(i)
+	}
+}

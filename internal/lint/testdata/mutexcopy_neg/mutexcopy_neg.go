@@ -1,0 +1,40 @@
+// Negative fixtures for the mutexcopy analyzer: nothing here may be
+// flagged.
+package mutexcopy_neg
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type plain struct{ n int }
+
+func pointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func freshValue() *guarded {
+	g := guarded{} // composite literal: constructing, not copying
+	return &g
+}
+
+func zeroValue() *guarded {
+	var g guarded
+	return &g
+}
+
+func plainCopy(p plain) plain {
+	cp := p // no lock inside: copying is fine
+	return cp
+}
+
+func pointerRange(gs []*guarded) {
+	for _, g := range gs {
+		g.mu.Lock()
+		g.mu.Unlock()
+	}
+}

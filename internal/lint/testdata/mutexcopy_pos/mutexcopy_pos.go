@@ -1,0 +1,37 @@
+// Positive fixtures for the mutexcopy analyzer: every copy below must
+// be flagged.
+package mutexcopy_pos
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct{ g guarded }
+
+func byValueParam(g guarded) int { // want mutexcopy "receives a lock-containing value"
+	return g.n
+}
+
+func assignCopy(g *guarded) int {
+	cp := *g // want mutexcopy "assignment copies a lock-containing value"
+	return cp.n
+}
+
+func rangeCopy(gs []nested) {
+	for _, g := range gs { // want mutexcopy "range value copies a lock-containing value"
+		_ = g.g.n
+	}
+}
+
+func sink(v interface{}) {}
+
+func argCopy(g *guarded) {
+	sink(*g) // want mutexcopy "call argument copies a lock-containing value"
+}
+
+func wgParam(wg sync.WaitGroup) { // want mutexcopy "receives a lock-containing value"
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package suppressed exercises //lint:ignore handling: both real
+// findings below carry well-formed suppressions and must not be
+// reported, while the malformed directive must be reported under the
+// "lint" pseudo-analyzer.
+package suppressed
+
+func commentAbove(a, b float64) bool {
+	//lint:ignore floatcmp fixture demonstrates suppression from the preceding line
+	return a == b
+}
+
+func trailingComment(a float64) bool {
+	return a == 0 //lint:ignore floatcmp fixture demonstrates same-line suppression
+}
+
+func malformed() int {
+	//lint:ignore floatcmp
+	return 0
+}

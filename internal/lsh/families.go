@@ -157,7 +157,7 @@ func (p *PStable) Signature(x []float64) uint64 {
 		for b := 0; b < 8; b++ {
 			buf[b] = byte(cell >> (8 * b))
 		}
-		h.Write(buf[:])
+		_, _ = h.Write(buf[:]) // fnv.Write cannot fail
 	}
 	return h.Sum64()
 }
@@ -197,7 +197,7 @@ func (mh *MinHash) Signature(x []float64) uint64 {
 		min := uint64(math.MaxUint64)
 		seen := false
 		for j, v := range x {
-			if v == 0 {
+			if matrix.IsZero(v) {
 				continue
 			}
 			seen = true
@@ -274,7 +274,7 @@ func FitSpectral(points *matrix.Dense, m int, seed int64) (*Spectral, error) {
 				p := dirs.Row(prev)
 				matrix.AXPY(-matrix.Dot(next, p), p, next)
 			}
-			if matrix.Normalize(next) == 0 {
+			if matrix.IsZero(matrix.Normalize(next)) {
 				break
 			}
 			copy(v, next)

@@ -165,7 +165,7 @@ func dimensionSpans(points *matrix.Dense) (mins, maxs, spans []float64) {
 	col := make([]float64, n)
 	for j := range spans {
 		full := maxs[j] - mins[j]
-		if full == 0 {
+		if matrix.IsZero(full) {
 			continue
 		}
 		for i := 0; i < n; i++ {

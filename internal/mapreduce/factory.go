@@ -25,6 +25,7 @@ type JobFactory func(conf []byte) (*Job, error)
 // before serving tasks for the job.
 func RegisterFactory(name string, factory JobFactory) {
 	if name == "" {
+		//lint:ignore panicfree registration happens at process start-up; a nameless factory is an API-misuse bug that must fail loudly before any task runs
 		panic("mapreduce: RegisterFactory needs a name")
 	}
 	factories.Store(name, factory)

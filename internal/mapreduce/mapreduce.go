@@ -115,7 +115,7 @@ func (j *Job) partition(key string) int {
 // hash-partitioner analogue.
 func DefaultPartition(key string, numReducers int) int {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // fnv.Write cannot fail
 	return int(h.Sum32() % uint32(numReducers))
 }
 

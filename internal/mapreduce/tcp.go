@@ -20,6 +20,7 @@ import (
 // keyed by Name; re-registering a name replaces the previous job.
 func Register(job *Job) {
 	if job.Name == "" {
+		//lint:ignore panicfree registration happens at process start-up; a nameless job is an API-misuse bug that must fail loudly before any task runs
 		panic("mapreduce: Register needs a job Name")
 	}
 	registry.Store(job.Name, job)
@@ -95,7 +96,7 @@ func (m *Master) acceptLoop() {
 		m.mu.Lock()
 		if m.closed {
 			m.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // best-effort teardown of a late joiner
 			return
 		}
 		// The gob codec pair must live as long as the connection: gob
@@ -125,7 +126,7 @@ func (m *Master) Close() error {
 	m.closed = true
 	err := m.ln.Close()
 	for _, c := range m.conns {
-		c.conn.Close()
+		err = errors.Join(err, c.conn.Close())
 	}
 	m.conns = nil
 	return err
@@ -312,12 +313,12 @@ func (w *workerConn) exchange(task taskMsg) (resultMsg, error) {
 // RunWorker connects to a master and serves tasks until the master
 // closes the connection, at which point it returns nil. Jobs must have
 // been Registered in this process.
-func RunWorker(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("mapreduce: dial master: %w", err)
+func RunWorker(addr string) (err error) {
+	conn, derr := net.Dial("tcp", addr)
+	if derr != nil {
+		return fmt.Errorf("mapreduce: dial master: %w", derr)
 	}
-	defer conn.Close()
+	defer func() { err = errors.Join(err, conn.Close()) }()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {

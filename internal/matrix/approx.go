@@ -1,0 +1,19 @@
+package matrix
+
+import "math"
+
+// ApproxEqual reports whether |a-b| <= tol. It is the project-wide
+// spelling for floating-point equality: the floatcmp analyzer rejects
+// raw == / != on floats, and this helper replaces them. tol = 0 states
+// explicitly that an exact comparison is intended (bitwise equality for
+// finite values; NaN compares unequal to everything, matching ==).
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// IsZero reports whether v is exactly zero. It is shorthand for
+// ApproxEqual(v, 0, 0), the dominant use in zero-skip loops and
+// "unset configuration field" checks.
+func IsZero(v float64) bool {
+	return ApproxEqual(v, 0, 0)
+}

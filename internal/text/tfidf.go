@@ -108,7 +108,7 @@ func FitVectorizerScheme(docs [][]string, f int, scheme Weighting) (*Vectorizer,
 		all = append(all, scored{t, tfTotal[t] * idfOf(d)})
 	}
 	sort.Slice(all, func(a, b int) bool {
-		if all[a].score != all[b].score {
+		if !matrix.ApproxEqual(all[a].score, all[b].score, 0) {
 			return all[a].score > all[b].score
 		}
 		return all[a].term < all[b].term

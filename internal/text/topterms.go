@@ -65,7 +65,7 @@ func VectorizeTopTerms(docs [][]string, f int) (*matrix.Dense, []string, error) 
 			ws = append(ws, weighted{t, float64(c) * invLen * idf(t)})
 		}
 		sort.Slice(ws, func(a, b int) bool {
-			if ws[a].w != ws[b].w {
+			if !matrix.ApproxEqual(ws[a].w, ws[b].w, 0) {
 				return ws[a].w > ws[b].w
 			}
 			return ws[a].term < ws[b].term
