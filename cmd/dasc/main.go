@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/analytic"
@@ -38,6 +41,11 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "master listen address for tcp-shipped")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context, which aborts the run between
+	// pipeline stages (and unblocks in-flight TCP task exchanges).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	input := os.Stdin
 	if *in != "-" {
@@ -78,13 +86,13 @@ func main() {
 		var res *core.Result
 		switch *mr {
 		case "":
-			res, err = core.Cluster(l.Points, cfg)
+			res, err = core.ClusterContext(ctx, l.Points, cfg)
 		case "local":
-			res, err = core.ClusterMapReduce(l.Points, cfg, &mapreduce.Local{}, "cli")
+			res, err = core.ClusterMapReduceContext(ctx, l.Points, cfg, &mapreduce.Local{}, "cli")
 		case "tcp":
-			res, err = runOverTCP(l, cfg, *workers)
+			res, err = runOverTCP(ctx, l, cfg, *workers)
 		case "tcp-shipped":
-			res, err = runShipped(l, cfg, *listen, *workers)
+			res, err = runShipped(ctx, l, cfg, *listen, *workers)
 		default:
 			fatal(fmt.Errorf("unknown -mapreduce %q", *mr))
 		}
@@ -133,7 +141,7 @@ func main() {
 
 // runOverTCP spins up an in-process TCP MapReduce cluster — master plus
 // goroutine-hosted workers over real sockets — and runs DASC on it.
-func runOverTCP(l *dataset.Labeled, cfg core.Config, workers int) (*core.Result, error) {
+func runOverTCP(ctx context.Context, l *dataset.Labeled, cfg core.Config, workers int) (*core.Result, error) {
 	master, err := mapreduce.NewMaster("127.0.0.1:0", workers)
 	if err != nil {
 		return nil, err
@@ -145,18 +153,18 @@ func runOverTCP(l *dataset.Labeled, cfg core.Config, workers int) (*core.Result,
 	}()
 	for i := 0; i < workers; i++ {
 		go func() {
-			if err := mapreduce.RunWorker(master.Addr()); err != nil {
+			if err := mapreduce.RunWorkerContext(ctx, master.Addr()); err != nil {
 				fmt.Fprintln(os.Stderr, "worker:", err)
 			}
 		}()
 	}
-	return core.ClusterMapReduce(l.Points, cfg, master, "cli-tcp")
+	return core.ClusterMapReduceContext(ctx, l.Points, cfg, master, "cli-tcp")
 }
 
 // runShipped starts a master and waits for external dascworker
 // processes before running the closure-free DASC jobs, so the workers
 // can live on other machines (or at least other processes).
-func runShipped(l *dataset.Labeled, cfg core.Config, listen string, workers int) (*core.Result, error) {
+func runShipped(ctx context.Context, l *dataset.Labeled, cfg core.Config, listen string, workers int) (*core.Result, error) {
 	master, err := mapreduce.NewMaster(listen, workers)
 	if err != nil {
 		return nil, err
@@ -168,7 +176,7 @@ func runShipped(l *dataset.Labeled, cfg core.Config, listen string, workers int)
 	}()
 	fmt.Printf("master listening on %s; start %d x `dascworker -master %s`\n",
 		master.Addr(), workers, master.Addr())
-	return core.ClusterMapReduceShipped(l.Points, cfg, master)
+	return core.ClusterMapReduceShippedContext(ctx, l.Points, cfg, master)
 }
 
 func fatal(err error) {

@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/mapreduce"
 
@@ -26,7 +30,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dascworker: -master is required")
 		os.Exit(2)
 	}
-	if err := mapreduce.RunWorker(*master); err != nil {
+	// SIGINT/SIGTERM cancel the context, which unblocks the worker's
+	// in-flight task exchange and makes it exit cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := mapreduce.RunWorkerContext(ctx, *master)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dascworker: interrupted")
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dascworker:", err)
 		os.Exit(1)
 	}

@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -53,9 +56,18 @@ func main() {
 		{"ablations", func() (*experiments.Table, error) { return experiments.Ablations(scale) }},
 		{"locality", func() (*experiments.Table, error) { return experiments.Locality(scale) }},
 	}
+	// SIGINT/SIGTERM stop the sweep at the next artifact boundary, so a
+	// long full-scale run can be abandoned without kill -9.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for _, a := range artifacts {
 		if !sel(a.id) {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(1)
 		}
 		tab, err := a.run()
 		if err != nil {

@@ -16,6 +16,8 @@
 package dasc
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -56,16 +58,46 @@ func Cluster(points *Matrix, cfg Config) (*Result, error) {
 	return core.Cluster(points, cfg)
 }
 
+// ClusterContext is Cluster with cancellation: the run aborts between
+// pipeline stages and before each bucket solve once ctx is done.
+func ClusterContext(ctx context.Context, points *Matrix, cfg Config) (*Result, error) {
+	return core.ClusterContext(ctx, points, cfg)
+}
+
 // ClusterMapReduce runs DASC as the paper's two MapReduce stages on any
 // executor (LocalExecutor, or a TCP Master with connected workers).
 func ClusterMapReduce(points *Matrix, cfg Config, exec Executor, jobPrefix string) (*Result, error) {
 	return core.ClusterMapReduce(points, cfg, exec, jobPrefix)
 }
 
+// ClusterMapReduceContext is ClusterMapReduce with cancellation,
+// threaded into the executor's in-flight map and reduce tasks.
+func ClusterMapReduceContext(ctx context.Context, points *Matrix, cfg Config, exec Executor, jobPrefix string) (*Result, error) {
+	return core.ClusterMapReduceContext(ctx, points, cfg, exec, jobPrefix)
+}
+
+// ClusterMapReduceShipped runs the closure-free MapReduce formulation:
+// all data travels through the records, so the executor's workers may
+// live in other OS processes (see cmd/dascworker).
+func ClusterMapReduceShipped(points *Matrix, cfg Config, exec Executor) (*Result, error) {
+	return core.ClusterMapReduceShipped(points, cfg, exec)
+}
+
+// ClusterMapReduceShippedContext is ClusterMapReduceShipped with
+// cancellation.
+func ClusterMapReduceShippedContext(ctx context.Context, points *Matrix, cfg Config, exec Executor) (*Result, error) {
+	return core.ClusterMapReduceShippedContext(ctx, points, cfg, exec)
+}
+
 // ClusterIncremental runs DASC with the resident Gram storage bounded
 // by budgetBytes, processing buckets in waves.
 func ClusterIncremental(points *Matrix, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
 	return core.ClusterIncremental(points, cfg, budgetBytes)
+}
+
+// ClusterIncrementalContext is ClusterIncremental with cancellation.
+func ClusterIncrementalContext(ctx context.Context, points *Matrix, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
+	return core.ClusterIncrementalContext(ctx, points, cfg, budgetBytes)
 }
 
 // TuneM sweeps the signature width and returns the largest M whose
@@ -199,14 +231,31 @@ type LocalExecutor = mapreduce.Local
 // Master coordinates TCP MapReduce workers.
 type Master = mapreduce.Master
 
+// TCPConfig configures a TCP master: listen address, worker quorum, and
+// the dial / per-task-exchange deadlines (zero values use the package
+// defaults).
+type TCPConfig = mapreduce.TCPConfig
+
 // NewMaster starts a TCP MapReduce master on addr that waits for
-// minWorkers workers.
+// minWorkers workers, with default deadlines.
 func NewMaster(addr string, minWorkers int) (*Master, error) {
 	return mapreduce.NewMaster(addr, minWorkers)
 }
 
+// NewMasterTCP starts a TCP MapReduce master from an explicit
+// configuration, including tuned deadlines.
+func NewMasterTCP(cfg TCPConfig) (*Master, error) {
+	return mapreduce.NewMasterTCP(cfg)
+}
+
 // RunWorker connects to a master and serves tasks until it closes.
 func RunWorker(addr string) error { return mapreduce.RunWorker(addr) }
+
+// RunWorkerContext is RunWorker with cancellation: a done context
+// unblocks the worker even while it waits for the next task.
+func RunWorkerContext(ctx context.Context, addr string) error {
+	return mapreduce.RunWorkerContext(ctx, addr)
+}
 
 // EMRCluster is the simulated elastic cluster (Table 2 nodes).
 type EMRCluster = emr.Cluster

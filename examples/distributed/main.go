@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -24,14 +26,26 @@ func main() {
 	}
 	cfg := core.Config{K: 4, Seed: 1}
 
+	// Cancelling this context aborts in-flight map/reduce tasks on both
+	// executors (the ClusterMapReduce form without Context is the same
+	// driver with context.Background()).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	// Local executor: a bounded worker pool in this process.
-	local, err := core.ClusterMapReduce(data.Points, cfg, &mapreduce.Local{}, "example")
+	local, err := core.ClusterMapReduceContext(ctx, data.Points, cfg, &mapreduce.Local{}, "example")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// TCP executor: a master socket plus four workers dialing in.
-	master, err := mapreduce.NewMaster("127.0.0.1:0", 4)
+	// TCPConfig also carries the dial and per-exchange I/O deadlines
+	// (zero fields use DefaultDialTimeout / DefaultIOTimeout).
+	master, err := mapreduce.NewMasterTCP(mapreduce.TCPConfig{
+		Addr:       "127.0.0.1:0",
+		MinWorkers: 4,
+		IOTimeout:  30 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,13 +56,13 @@ func main() {
 	}()
 	for i := 0; i < 4; i++ {
 		go func() {
-			if err := mapreduce.RunWorker(master.Addr()); err != nil {
+			if err := mapreduce.RunWorkerContext(ctx, master.Addr()); err != nil {
 				log.Println("worker:", err)
 			}
 		}()
 	}
 	fmt.Printf("master listening on %s, waiting for 4 workers...\n", master.Addr())
-	tcp, err := core.ClusterMapReduce(data.Points, cfg, master, "example")
+	tcp, err := core.ClusterMapReduceContext(ctx, data.Points, cfg, master, "example")
 	if err != nil {
 		log.Fatal(err)
 	}

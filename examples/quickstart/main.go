@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -23,8 +25,13 @@ func main() {
 
 	// DASC with paper defaults: M = ceil(log2 N / 2) - 1 signature
 	// bits, bucket merging at Hamming distance 1, Gaussian kernel with
-	// the median-distance bandwidth.
-	res, err := core.Cluster(data.Points, core.Config{K: 5, Seed: 1})
+	// the median-distance bandwidth. Every driver has a Context variant
+	// (core.Cluster == core.ClusterContext with context.Background());
+	// the deadline here bounds the run, cancelling between stages and
+	// before each bucket solve.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := core.ClusterContext(ctx, data.Points, core.Config{K: 5, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,14 +10,20 @@
 //  4. run spectral clustering independently on every bucket
 //     (internal/spectral) and assemble global labels.
 //
-// Three drivers expose the same algorithm: Cluster (in-process worker
-// pool), ClusterMapReduce (two MapReduce stages on any
-// mapreduce.Executor, the paper's Hadoop formulation), and EMRFlow
-// (an emr job flow whose task costs follow §4.1's model, for the
-// elasticity study of Table 3).
+// There is exactly one implementation of that dataflow — the canonical
+// plan in pipeline.go — and four drivers that run it on interchangeable
+// backends via the Runner interface: Cluster (in-process worker pool),
+// ClusterIncremental (bounded-memory sequential waves), ClusterMapReduce
+// (two MapReduce stages on any mapreduce.Executor, the paper's Hadoop
+// formulation), and ClusterMapReduceShipped (the closure-free variant
+// whose workers may live in other OS processes). Every driver has a
+// Context-taking form; the plain forms wrap context.Background().
+// EMRFlow additionally builds an emr job flow whose task costs follow
+// §4.1's model, for the elasticity study of Table 3.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +66,8 @@ type Config struct {
 	// Family optionally replaces the paper's span/threshold hash with
 	// another LSH family (SimHash, MinHash, spectral hashing, ...).
 	// When set, M is taken from the family and Policy/Bins are ignored.
+	// Distributed drivers ship hash parameters to worker processes and
+	// therefore always use the paper's fitted hasher, ignoring Family.
 	Family lsh.Family
 }
 
@@ -133,91 +141,85 @@ func (c Config) resolve(n int) (Config, int, error) {
 
 // Cluster runs DASC in-process, processing buckets on a worker pool.
 func Cluster(points *matrix.Dense, cfg Config) (*Result, error) {
-	start := time.Now()
-	n := points.Rows()
-	cfg, radius, err := cfg.resolve(n)
-	if err != nil {
-		return nil, err
-	}
-	family := cfg.Family
-	if family == nil {
-		hasher, err := lsh.Fit(points, lsh.Config{
-			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: lsh: %w", err)
-		}
-		family = hasher
-	} else {
-		cfg.M = family.Bits()
-	}
-	part := lsh.PartitionWith(family, points, radius)
-
-	sigma := cfg.Sigma
-	if sigma <= 0 {
-		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
-	}
-
-	res, err := clusterBuckets(points, part, cfg, sigma)
-	if err != nil {
-		return nil, err
-	}
-	res.SignatureBits = cfg.M
-	res.MergeRadius = radius
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return ClusterContext(context.Background(), points, cfg)
 }
 
-// clusterBuckets runs spectral clustering on each bucket of the
-// partition and assembles global labels. It is shared by the local and
-// MapReduce drivers.
-func clusterBuckets(points *matrix.Dense, part *lsh.Partition, cfg Config, sigma float64) (*Result, error) {
-	n := points.Rows()
-	type bucketOut struct {
-		labels []int // local cluster ids per bucket point
-		k      int
-		err    error
+// ClusterContext is Cluster with cancellation: the context is checked
+// between pipeline stages and before every bucket solve.
+func ClusterContext(ctx context.Context, points *matrix.Dense, cfg Config) (*Result, error) {
+	return RunPipeline(ctx, points, cfg, &localRunner{})
+}
+
+// localRunner is the in-process backend: signatures are hashed inline
+// and buckets are solved on a bounded goroutine pool.
+type localRunner struct{}
+
+func (*localRunner) Name() string      { return "local" }
+func (*localRunner) NeedsHasher() bool { return false }
+
+func (*localRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+	return hashSignatures(ctx, p)
+}
+
+// hashSignatures is the in-process signature stage, shared by the local
+// and incremental runners.
+func hashSignatures(ctx context.Context, p *Plan) ([]uint64, error) {
+	n := p.Points.Rows()
+	sigs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: signatures: %w", err)
+			}
+		}
+		sigs[i] = p.Family.Signature(p.Points.Row(i))
 	}
-	outs := make([]bucketOut, len(part.Buckets))
-	kf := kernel.Gaussian(sigma)
+	return sigs, nil
+}
+
+func (*localRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
+	return solveBucketsParallel(ctx, p, part)
+}
+
+// solveBucketsParallel runs the per-bucket solve stage on a worker pool
+// of p.Cfg.Workers goroutines, checking the context before each bucket.
+func solveBucketsParallel(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
+	n := p.Points.Rows()
+	sols := make([]BucketSolution, len(part.Buckets))
+	errs := make([]error, len(part.Buckets))
+	kf := kernel.Gaussian(p.Sigma)
 
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
+	sem := make(chan struct{}, p.Cfg.Workers)
 	for bi := range part.Buckets {
 		wg.Add(1)
 		go func(bi int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[bi] = err
+				return
+			}
 			b := part.Buckets[bi]
-			labels, k, err := clusterOneBucket(points, b.Indices, cfg, n, kf)
-			outs[bi] = bucketOut{labels, k, err}
+			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf)
+			if err != nil {
+				errs[bi] = fmt.Errorf("core: bucket %x: %w", b.Signature, err)
+				return
+			}
+			sols[bi] = BucketSolution{Labels: labels, K: k}
 		}(bi)
 	}
 	wg.Wait()
-
-	res := &Result{Labels: make([]int, n)}
-	offset := 0
-	for bi, b := range part.Buckets {
-		o := outs[bi]
-		if o.err != nil {
-			return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, o.err)
-		}
-		for pi, idx := range b.Indices {
-			res.Labels[idx] = offset + o.labels[pi]
-		}
-		gb := 4 * int64(len(b.Indices)) * int64(len(b.Indices))
-		res.Buckets = append(res.Buckets, BucketReport{
-			Signature: b.Signature,
-			Size:      len(b.Indices),
-			K:         o.k,
-			GramBytes: gb,
-		})
-		res.GramBytes += gb
-		offset += o.k
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: solve cancelled: %w", err)
 	}
-	res.Clusters = offset
-	return res, nil
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sols, nil
 }
 
 // BucketK returns the number of clusters assigned to a bucket of size

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analytic"
@@ -19,6 +20,12 @@ import (
 // The returned flow can be scheduled on emr.Clusters of different sizes
 // to reproduce Table 3's elasticity study.
 func EMRFlow(points *matrix.Dense, cfg Config, beta float64) (*emr.JobFlow, *lsh.Partition, error) {
+	return EMRFlowContext(context.Background(), points, cfg, beta)
+}
+
+// EMRFlowContext is EMRFlow with cancellation: the context is checked
+// between the hash fit and the partition pass.
+func EMRFlowContext(ctx context.Context, points *matrix.Dense, cfg Config, beta float64) (*emr.JobFlow, *lsh.Partition, error) {
 	n := points.Rows()
 	cfg, radius, err := cfg.resolve(n)
 	if err != nil {
@@ -32,6 +39,9 @@ func EMRFlow(points *matrix.Dense, cfg Config, beta float64) (*emr.JobFlow, *lsh
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: lsh: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("core: emr flow: %w", err)
 	}
 	part := lsh.PartitionSignatures(hasher.Signatures(points), radius)
 	flow := BuildFlow(part, cfg, n, points.Cols(), beta)

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/lsh"
@@ -33,32 +33,49 @@ type IncrementalResult struct {
 // sub-Gram is irreducible); the reported peak then exceeds the budget
 // and callers can react by increasing M.
 func ClusterIncremental(points *matrix.Dense, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
-	start := time.Now()
-	n := points.Rows()
-	cfg, radius, err := cfg.resolve(n)
-	if err != nil {
-		return nil, err
-	}
+	return ClusterIncrementalContext(context.Background(), points, cfg, budgetBytes)
+}
+
+// ClusterIncrementalContext is ClusterIncremental with cancellation:
+// the context is checked between pipeline stages and between buckets,
+// so a cancel returns within one bucket solve.
+func ClusterIncrementalContext(ctx context.Context, points *matrix.Dense, cfg Config, budgetBytes int64) (*IncrementalResult, error) {
 	if budgetBytes <= 0 {
 		return nil, fmt.Errorf("core: memory budget %d must be positive", budgetBytes)
 	}
-	family := cfg.Family
-	if family == nil {
-		hasher, err := lsh.Fit(points, lsh.Config{
-			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: lsh: %w", err)
-		}
-		family = hasher
-	} else {
-		cfg.M = family.Bits()
+	r := &incrementalRunner{budget: budgetBytes}
+	res, err := RunPipeline(ctx, points, cfg, r)
+	if err != nil {
+		return nil, err
 	}
-	part := lsh.PartitionWith(family, points, radius)
+	return &IncrementalResult{Result: *res, PeakGramBytes: r.peak, Waves: r.waves}, nil
+}
 
-	sigma := cfg.Sigma
-	if sigma <= 0 {
-		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+// incrementalRunner is the bounded-memory backend: buckets are packed
+// into waves whose summed sub-Gram storage fits the budget and solved
+// sequentially, one wave at a time. Label assembly still happens in
+// canonical partition order (the shared assembly path), so the labeling
+// matches the batch driver regardless of wave packing.
+type incrementalRunner struct {
+	budget int64
+	// peak and waves are written by Solve and read by the driver after
+	// the pipeline returns.
+	peak  int64
+	waves int
+}
+
+func (*incrementalRunner) Name() string      { return "incremental" }
+func (*incrementalRunner) NeedsHasher() bool { return false }
+
+func (*incrementalRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+	return hashSignatures(ctx, p)
+}
+
+func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
+	n := p.Points.Rows()
+	gramOf := func(bi int) int64 {
+		ni := int64(len(part.Buckets[bi].Indices))
+		return 4 * ni * ni
 	}
 
 	// Pack buckets into waves first-fit-decreasing under the budget.
@@ -69,17 +86,13 @@ func ClusterIncremental(points *matrix.Dense, cfg Config, budgetBytes int64) (*I
 	sort.SliceStable(order, func(a, b int) bool {
 		return len(part.Buckets[order[a]].Indices) > len(part.Buckets[order[b]].Indices)
 	})
-	gramOf := func(bi int) int64 {
-		ni := int64(len(part.Buckets[bi].Indices))
-		return 4 * ni * ni
-	}
 	var waves [][]int
 	waveLoad := []int64{}
 	for _, bi := range order {
 		need := gramOf(bi)
 		placed := false
 		for w := range waves {
-			if waveLoad[w]+need <= budgetBytes {
+			if waveLoad[w]+need <= r.budget {
 				waves[w] = append(waves[w], bi)
 				waveLoad[w] += need
 				placed = true
@@ -91,31 +104,27 @@ func ClusterIncremental(points *matrix.Dense, cfg Config, budgetBytes int64) (*I
 			waveLoad = append(waveLoad, need)
 		}
 	}
+	r.waves = len(waves)
 
-	res := &IncrementalResult{Waves: len(waves)}
-	res.Labels = make([]int, n)
-	res.SignatureBits = cfg.M
-	res.MergeRadius = radius
-
-	// Cluster offsets must be assigned in the canonical bucket order so
-	// the labeling matches the batch driver regardless of wave packing.
-	offsets := make([]int, len(part.Buckets))
+	// The planned per-bucket cluster counts double as a consistency
+	// check: a bucket must produce exactly its proportional share.
 	kOf := make([]int, len(part.Buckets))
-	running := 0
 	for bi, b := range part.Buckets {
-		offsets[bi] = running
-		kOf[bi] = BucketK(cfg.K, len(b.Indices), n)
-		running += kOf[bi]
+		kOf[bi] = BucketK(p.Cfg.K, len(b.Indices), n)
 	}
 
-	kf := kernel.Gaussian(sigma)
+	sols := make([]BucketSolution, len(part.Buckets))
+	kf := kernel.Gaussian(p.Sigma)
 	for w, wave := range waves {
-		if waveLoad[w] > res.PeakGramBytes {
-			res.PeakGramBytes = waveLoad[w]
+		if waveLoad[w] > r.peak {
+			r.peak = waveLoad[w]
 		}
 		for _, bi := range wave {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: incremental: %w", err)
+			}
 			b := part.Buckets[bi]
-			labels, k, err := clusterOneBucket(points, b.Indices, cfg, n, kf)
+			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf)
 			if err != nil {
 				return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 			}
@@ -123,24 +132,8 @@ func ClusterIncremental(points *matrix.Dense, cfg Config, budgetBytes int64) (*I
 				return nil, fmt.Errorf("core: bucket %x produced %d clusters, planned %d",
 					b.Signature, k, kOf[bi])
 			}
-			for pos, idx := range b.Indices {
-				res.Labels[idx] = offsets[bi] + labels[pos]
-			}
+			sols[bi] = BucketSolution{Labels: labels, K: k}
 		}
 	}
-	res.Clusters = running
-	var gram int64
-	for bi, b := range part.Buckets {
-		gb := gramOf(bi)
-		res.Buckets = append(res.Buckets, BucketReport{
-			Signature: b.Signature,
-			Size:      len(b.Indices),
-			K:         kOf[bi],
-			GramBytes: gb,
-		})
-		gram += gb
-	}
-	res.GramBytes = gram
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return sols, nil
 }

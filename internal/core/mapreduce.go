@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
-	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/lsh"
@@ -27,37 +27,61 @@ import (
 // TCP workers in the same process can execute them (the points matrix
 // travels by closure, standing in for HDFS-distributed input splits).
 func ClusterMapReduce(points *matrix.Dense, cfg Config, exec mapreduce.Executor, jobPrefix string) (*Result, error) {
-	start := time.Now()
-	n := points.Rows()
-	cfg, radius, err := cfg.resolve(n)
-	if err != nil {
-		return nil, err
-	}
-	hasher, err := lsh.Fit(points, lsh.Config{
-		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: lsh: %w", err)
-	}
-	sigma := cfg.Sigma
-	if sigma <= 0 {
-		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
-	}
+	return ClusterMapReduceContext(context.Background(), points, cfg, exec, jobPrefix)
+}
 
-	// ---- stage 1: signature generation ----
-	lshJob := LSHJob(jobPrefix, points, hasher)
+// ClusterMapReduceContext is ClusterMapReduce with cancellation: the
+// context is threaded into the executor, so executors implementing
+// mapreduce.ContextExecutor (Local and the TCP Master) abort in-flight
+// map and reduce work cooperatively.
+func ClusterMapReduceContext(ctx context.Context, points *matrix.Dense, cfg Config, exec mapreduce.Executor, jobPrefix string) (*Result, error) {
+	return RunPipeline(ctx, points, cfg, &mapReduceRunner{exec: exec, prefix: jobPrefix})
+}
+
+// mapReduceRunner is the closure-carrying MapReduce backend: jobs
+// capture the points matrix, so executor workers must share the
+// driver's address space (goroutine TCP workers or the Local pool).
+type mapReduceRunner struct {
+	exec   mapreduce.Executor
+	prefix string
+}
+
+func (*mapReduceRunner) Name() string      { return "mapreduce" }
+func (*mapReduceRunner) NeedsHasher() bool { return true }
+
+func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+	n := p.Points.Rows()
+	lshJob := LSHJob(r.prefix, p.Points, p.Hasher)
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
 	}
-	sigPairs, _, err := exec.Run(lshJob, input)
+	sigPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
 	if err != nil {
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
+	return signaturesFromPairs(sigPairs, n)
+}
 
-	// Reassemble per-point signatures, then merge near-duplicates on
-	// the driver (the paper performs this step "before applying the
-	// reducer" of stage 2).
+func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
+	clusterJob := ClusterJob(r.prefix, p.Points, p.Cfg, p.Sigma)
+	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
+	for bi, b := range part.Buckets {
+		stage2Input[bi] = mapreduce.Pair{
+			Key:   fmt.Sprintf("%016x", b.Signature),
+			Value: encodeIndices(b.Indices),
+		}
+	}
+	labelPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2Input)
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster stage: %w", err)
+	}
+	return solutionsFromLabelPairs(part, labelPairs, p.Points.Rows())
+}
+
+// signaturesFromPairs reassembles per-point signatures from stage-1
+// output records, shared by both MapReduce runners.
+func signaturesFromPairs(sigPairs []mapreduce.Pair, n int) ([]uint64, error) {
 	sigs := make([]uint64, n)
 	for _, p := range sigPairs {
 		sig, err := strconv.ParseUint(p.Key, 16, 64)
@@ -70,23 +94,38 @@ func ClusterMapReduce(points *matrix.Dense, cfg Config, exec mapreduce.Executor,
 		}
 		sigs[idx] = sig
 	}
-	part := lsh.PartitionSignatures(sigs, radius)
+	return sigs, nil
+}
 
-	// ---- stage 2: per-bucket similarity + spectral clustering ----
-	clusterJob := ClusterJob(jobPrefix, points, cfg, sigma)
-	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
+// solutionsFromLabelPairs converts stage-2 output records
+// ((bucketSig, [pointIndex, localLabel, k]) triples) back into
+// per-bucket solutions aligned with the partition — the inverse of the
+// reducers' per-point emission, shared by both MapReduce runners. The
+// shared assembly path then offsets them exactly like every other
+// runner's solutions.
+func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int) ([]BucketSolution, error) {
+	type slot struct{ bucket, pos int }
+	where := make(map[int]slot, n)
+	sols := make([]BucketSolution, len(part.Buckets))
 	for bi, b := range part.Buckets {
-		stage2Input[bi] = mapreduce.Pair{
-			Key:   fmt.Sprintf("%016x", b.Signature),
-			Value: encodeIndices(b.Indices),
+		sols[bi].Labels = make([]int, len(b.Indices))
+		for pi, idx := range b.Indices {
+			where[idx] = slot{bi, pi}
 		}
 	}
-	labelPairs, _, err := exec.Run(clusterJob, stage2Input)
-	if err != nil {
-		return nil, fmt.Errorf("core: cluster stage: %w", err)
+	for _, p := range pairs {
+		if len(p.Value) != 12 {
+			return nil, fmt.Errorf("core: label payload length %d", len(p.Value))
+		}
+		idx, local, k := decodeLabel(p.Value)
+		s, ok := where[idx]
+		if !ok {
+			return nil, fmt.Errorf("core: label for out-of-range point %d", idx)
+		}
+		sols[s.bucket].Labels[s.pos] = local
+		sols[s.bucket].K = k
 	}
-	// Each reducer emitted (bucketSig, [pointIndex, localLabel, k]).
-	return assembleLabels(labelPairs, n, cfg, radius, start)
+	return sols, nil
 }
 
 // LSHJob builds the stage-1 MapReduce job (Algorithm 1): the mapper

@@ -1,0 +1,184 @@
+package core
+
+// This file is the canonical DASC plan: every public driver is a thin
+// adapter over one four-stage dataflow —
+//
+//	signature   : hash every point to an M-bit LSH signature,
+//	bucket-merge: group by signature and merge near-duplicates (Eq. 6),
+//	solve       : per-bucket sub-Gram + spectral clustering,
+//	assembly    : offset per-bucket labels into one global labeling.
+//
+// The stages that admit different execution strategies (signature and
+// solve) are behind the Runner interface; bucket-merge and assembly are
+// pure driver-side functions shared by every runner, so the drivers
+// cannot drift apart. Runners receive a context.Context and must return
+// promptly with its error once it is cancelled.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/lsh"
+	"repro/internal/matrix"
+)
+
+// Plan is the resolved execution plan shared by all pipeline stages:
+// the dataset, the defaulted configuration, the fitted hash family, the
+// merge radius, and the kernel bandwidth.
+type Plan struct {
+	// Points is the dataset, one row per point.
+	Points *matrix.Dense
+	// Cfg is the configuration with every default resolved (K, M,
+	// Workers filled in).
+	Cfg Config
+	// Radius is the Hamming merge radius derived from P and M.
+	Radius int
+	// Sigma is the resolved Gaussian kernel bandwidth.
+	Sigma float64
+	// Family is the hashing scheme used by the signature stage.
+	Family lsh.Family
+	// Hasher is the fitted span/threshold hasher when Family is the
+	// paper's scheme (always non-nil for distributed runners, which
+	// ship its parameters to worker processes); nil when a custom
+	// Family from Config is in use.
+	Hasher *lsh.Hasher
+}
+
+// BucketSolution is the solve stage's output for one bucket: local
+// cluster ids per bucket point (bucket order) and the number of
+// clusters extracted.
+type BucketSolution struct {
+	Labels []int
+	K      int
+}
+
+// Runner executes the backend-specific pipeline stages. Implementations
+// exist for the in-process worker pool, the bounded-memory incremental
+// driver, and the two MapReduce formulations.
+type Runner interface {
+	// Name identifies the runner in errors.
+	Name() string
+	// NeedsHasher reports whether the runner requires the fitted
+	// span/threshold Hasher (distributed runners ship its parameters);
+	// such runners ignore a custom Config.Family.
+	NeedsHasher() bool
+	// Signatures computes the per-point LSH signatures (stage 1).
+	Signatures(ctx context.Context, p *Plan) ([]uint64, error)
+	// Solve clusters every bucket of the partition (stage 3), returning
+	// one solution per bucket in partition order.
+	Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error)
+}
+
+// NewPlan resolves the configuration against the dataset and fits the
+// hash family and kernel bandwidth. needsHasher forces the paper's
+// span/threshold hasher even when Config.Family is set (the behaviour
+// of the distributed drivers, whose jobs ship hash thresholds).
+func NewPlan(points *matrix.Dense, cfg Config, needsHasher bool) (*Plan, error) {
+	n := points.Rows()
+	cfg, radius, err := cfg.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Points: points, Radius: radius}
+	if cfg.Family != nil && !needsHasher {
+		cfg.M = cfg.Family.Bits()
+		p.Family = cfg.Family
+	} else {
+		hasher, err := lsh.Fit(points, lsh.Config{
+			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: lsh: %w", err)
+		}
+		p.Family, p.Hasher = hasher, hasher
+	}
+	p.Sigma = cfg.Sigma
+	if p.Sigma <= 0 {
+		p.Sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+	p.Cfg = cfg
+	return p, nil
+}
+
+// RunPipeline executes the canonical DASC dataflow on the given runner.
+// All four public drivers delegate here, so for a fixed seed they
+// produce identical labels regardless of the execution backend.
+func RunPipeline(ctx context.Context, points *matrix.Dense, cfg Config, r Runner) (*Result, error) {
+	start := time.Now()
+	p, err := NewPlan(points, cfg, r.NeedsHasher())
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
+	}
+
+	// Stage 1: signatures.
+	sigs, err := r.Signatures(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(sigs) != points.Rows() {
+		return nil, fmt.Errorf("core: %s produced %d signatures for %d points", r.Name(), len(sigs), points.Rows())
+	}
+
+	// Stage 2: bucket-merge, always on the driver (the paper merges
+	// "before applying the reducer" of its second job).
+	part := lsh.PartitionSignatures(sigs, p.Radius)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
+	}
+
+	// Stage 3: per-bucket solve.
+	sols, err := r.Solve(ctx, p, part)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: global label assembly.
+	res, err := assembleSolutions(part, sols, points.Rows())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
+	}
+	res.SignatureBits = p.Cfg.M
+	res.MergeRadius = p.Radius
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// assembleSolutions is the single label-assembly path: cluster-id
+// offsets are assigned in partition order (ascending bucket signature),
+// so every runner yields the same global labeling for the same
+// per-bucket solutions.
+func assembleSolutions(part *lsh.Partition, sols []BucketSolution, n int) (*Result, error) {
+	if len(sols) != len(part.Buckets) {
+		return nil, fmt.Errorf("%d solutions for %d buckets", len(sols), len(part.Buckets))
+	}
+	res := &Result{Labels: make([]int, n)}
+	offset := 0
+	for bi, b := range part.Buckets {
+		s := sols[bi]
+		if len(s.Labels) != len(b.Indices) {
+			return nil, fmt.Errorf("bucket %x: %d labels for %d points", b.Signature, len(s.Labels), len(b.Indices))
+		}
+		for pos, idx := range b.Indices {
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("bucket %x: point %d out of range", b.Signature, idx)
+			}
+			res.Labels[idx] = offset + s.Labels[pos]
+		}
+		gb := 4 * int64(len(b.Indices)) * int64(len(b.Indices))
+		res.Buckets = append(res.Buckets, BucketReport{
+			Signature: b.Signature,
+			Size:      len(b.Indices),
+			K:         s.K,
+			GramBytes: gb,
+		})
+		res.GramBytes += gb
+		offset += s.K
+	}
+	res.Clusters = offset
+	return res, nil
+}

@@ -2,13 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
-	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/kmeans"
@@ -218,25 +217,29 @@ func decodeVector(buf []byte) ([]float64, error) {
 // in other OS processes (start them with cmd/dascworker). Semantically
 // identical to ClusterMapReduce.
 func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Executor) (*Result, error) {
-	start := time.Now()
-	n := points.Rows()
-	cfg, radius, err := cfg.resolve(n)
-	if err != nil {
-		return nil, err
-	}
-	hasher, err := lsh.Fit(points, lsh.Config{
-		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: lsh: %w", err)
-	}
-	sigma := cfg.Sigma
-	if sigma <= 0 {
-		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
-	}
+	return ClusterMapReduceShippedContext(context.Background(), points, cfg, exec)
+}
 
-	// ---- stage 1 ----
-	lshBlob, err := gobEncode(lshConf{Dims: hasher.Dimensions(), Thresholds: hasher.Thresholds()})
+// ClusterMapReduceShippedContext is ClusterMapReduceShipped with
+// cancellation: the context is threaded into the executor, so the TCP
+// Master aborts in-flight remote tasks cooperatively.
+func ClusterMapReduceShippedContext(ctx context.Context, points *matrix.Dense, cfg Config, exec mapreduce.Executor) (*Result, error) {
+	return RunPipeline(ctx, points, cfg, &shippedRunner{exec: exec})
+}
+
+// shippedRunner is the cross-process MapReduce backend: every stage's
+// configuration and data travel through the job Conf and record values,
+// never through closures.
+type shippedRunner struct {
+	exec mapreduce.Executor
+}
+
+func (*shippedRunner) Name() string      { return "mapreduce-shipped" }
+func (*shippedRunner) NeedsHasher() bool { return true }
+
+func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+	n := p.Points.Rows()
+	lshBlob, err := gobEncode(lshConf{Dims: p.Hasher.Dimensions(), Thresholds: p.Hasher.Thresholds()})
 	if err != nil {
 		return nil, err
 	}
@@ -248,28 +251,18 @@ func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Ex
 	lshJob.Conf = lshBlob
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
-		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(points.Row(i))}
+		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(p.Points.Row(i))}
 	}
-	sigPairs, _, err := exec.Run(lshJob, input)
+	sigPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
 	if err != nil {
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
-	sigs := make([]uint64, n)
-	for _, p := range sigPairs {
-		sig, err := strconv.ParseUint(p.Key, 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("core: bad signature %q: %w", p.Key, err)
-		}
-		idx := int(binary.LittleEndian.Uint32(p.Value))
-		if idx < 0 || idx >= n {
-			return nil, fmt.Errorf("core: index %d out of range", idx)
-		}
-		sigs[idx] = sig
-	}
-	part := lsh.PartitionSignatures(sigs, radius)
+	return signaturesFromPairs(sigPairs, n)
+}
 
-	// ---- stage 2 ----
-	clusterBlob, err := gobEncode(clusterConf{N: n, K: cfg.K, Sigma: sigma, Seed: cfg.Seed})
+func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
+	n := p.Points.Rows()
+	clusterBlob, err := gobEncode(clusterConf{N: n, K: p.Cfg.K, Sigma: p.Sigma, Seed: p.Cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +273,7 @@ func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Ex
 	clusterJob.Name = ShippedClusterJobName
 	clusterJob.Conf = clusterBlob
 	stage2 := make([]mapreduce.Pair, len(part.Buckets))
-	d := points.Cols()
+	d := p.Points.Cols()
 	for bi, b := range part.Buckets {
 		payload := bucketPayload{
 			Indices: make([]int32, len(b.Indices)),
@@ -289,7 +282,7 @@ func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Ex
 		}
 		for i, idx := range b.Indices {
 			payload.Indices[i] = int32(idx)
-			payload.Vectors = append(payload.Vectors, points.Row(idx)...)
+			payload.Vectors = append(payload.Vectors, p.Points.Row(idx)...)
 		}
 		blob, err := gobEncode(payload)
 		if err != nil {
@@ -297,60 +290,9 @@ func ClusterMapReduceShipped(points *matrix.Dense, cfg Config, exec mapreduce.Ex
 		}
 		stage2[bi] = mapreduce.Pair{Key: fmt.Sprintf("%016x", b.Signature), Value: blob}
 	}
-	labelPairs, _, err := exec.Run(clusterJob, stage2)
+	labelPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2)
 	if err != nil {
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
-	return assembleLabels(labelPairs, n, cfg, radius, start)
-}
-
-// assembleLabels converts stage-2 output records into a Result; shared
-// with ClusterMapReduce's tail.
-func assembleLabels(labelPairs []mapreduce.Pair, n int, cfg Config, radius int, start time.Time) (*Result, error) {
-	res := &Result{Labels: make([]int, n), SignatureBits: cfg.M, MergeRadius: radius}
-	type bucketLabels struct {
-		sig    uint64
-		size   int
-		k      int
-		points [][2]int
-	}
-	var buckets []*bucketLabels
-	bySig := make(map[uint64]*bucketLabels)
-	for _, p := range labelPairs {
-		sig, err := strconv.ParseUint(p.Key, 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("core: bad bucket key %q: %w", p.Key, err)
-		}
-		if len(p.Value) != 12 {
-			return nil, fmt.Errorf("core: label payload length %d", len(p.Value))
-		}
-		idx, local, k := decodeLabel(p.Value)
-		b, ok := bySig[sig]
-		if !ok {
-			b = &bucketLabels{sig: sig, k: k}
-			bySig[sig] = b
-			buckets = append(buckets, b)
-		}
-		b.points = append(b.points, [2]int{idx, local})
-		b.size++
-	}
-	sort.Slice(buckets, func(a, b int) bool { return buckets[a].sig < buckets[b].sig })
-	offset := 0
-	for _, b := range buckets {
-		for _, pl := range b.points {
-			if pl[0] < 0 || pl[0] >= n {
-				return nil, fmt.Errorf("core: label for out-of-range point %d", pl[0])
-			}
-			res.Labels[pl[0]] = offset + pl[1]
-		}
-		gb := 4 * int64(b.size) * int64(b.size)
-		res.Buckets = append(res.Buckets, BucketReport{
-			Signature: b.sig, Size: b.size, K: b.k, GramBytes: gb,
-		})
-		res.GramBytes += gb
-		offset += b.k
-	}
-	res.Clusters = offset
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return solutionsFromLabelPairs(part, labelPairs, n)
 }

@@ -9,6 +9,7 @@
 package emr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -272,11 +273,21 @@ type FlowReport struct {
 // RunJobFlow executes the steps sequentially (steps have a barrier
 // between them, as EMR steps do) and aggregates the reports.
 func (c *Cluster) RunJobFlow(flow *JobFlow) (*FlowReport, error) {
+	return c.RunJobFlowContext(context.Background(), flow)
+}
+
+// RunJobFlowContext is RunJobFlow with cancellation: the context is
+// checked at each step barrier, so a cancel abandons the remaining
+// steps (mirroring terminating an EMR job flow between steps).
+func (c *Cluster) RunJobFlowContext(ctx context.Context, flow *JobFlow) (*FlowReport, error) {
 	if flow == nil || len(flow.Steps) == 0 {
 		return nil, errors.New("emr: empty job flow")
 	}
 	rep := &FlowReport{Cluster: c.Nodes}
 	for _, step := range flow.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("emr: job flow %q at step %q: %w", flow.Name, step.Name, err)
+		}
 		s := c.ScheduleTasks(step.Tasks)
 		rep.Steps = append(rep.Steps, StepReport{
 			Name:     step.Name,

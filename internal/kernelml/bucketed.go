@@ -1,6 +1,7 @@
 package kernelml
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -18,6 +19,12 @@ import (
 // partition, allocating the global cluster budget k proportionally.
 // Returned labels are globally unique across buckets.
 func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int, seed int64) ([]int, int, error) {
+	return BucketedKernelKMeansContext(context.Background(), points, part, kf, k, seed)
+}
+
+// BucketedKernelKMeansContext is BucketedKernelKMeans with
+// cancellation: the context is checked before each bucket solve.
+func BucketedKernelKMeansContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int, seed int64) ([]int, int, error) {
 	n := points.Rows()
 	if k < 1 || k > n {
 		return nil, 0, fmt.Errorf("kernelml: K=%d with %d points", k, n)
@@ -25,6 +32,9 @@ func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.F
 	labels := make([]int, n)
 	offset := 0
 	for _, b := range part.Buckets {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("kernelml: kmeans: %w", err)
+		}
 		ni := len(b.Indices)
 		ki := proportionalK(k, ni, n)
 		if ki >= ni {
@@ -53,11 +63,20 @@ func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.F
 // dataset). Component axes are per-bucket, as the Gram approximation
 // has no cross-bucket similarities by construction.
 func BucketedKernelPCA(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int) (*matrix.Dense, error) {
+	return BucketedKernelPCAContext(context.Background(), points, part, kf, k)
+}
+
+// BucketedKernelPCAContext is BucketedKernelPCA with cancellation: the
+// context is checked before each bucket decomposition.
+func BucketedKernelPCAContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int) (*matrix.Dense, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("kernelml: k=%d", k)
 	}
 	out := matrix.NewDense(points.Rows(), k)
 	for _, b := range part.Buckets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kernelml: pca: %w", err)
+		}
 		if len(b.Indices) == 1 {
 			continue // a singleton has no variance to decompose
 		}
@@ -100,6 +119,12 @@ type bucketModel struct {
 // training point. Buckets whose labels are single-class get a trivial
 // constant model (SVM with no support vectors and bias = the class).
 func TrainBucketedSVM(points *matrix.Dense, y []int, family lsh.Family, kf kernel.Func, cfg SVMConfig) (*BucketedSVM, error) {
+	return TrainBucketedSVMContext(context.Background(), points, y, family, kf, cfg)
+}
+
+// TrainBucketedSVMContext is TrainBucketedSVM with cancellation: the
+// context is checked before each bucket's SVM training.
+func TrainBucketedSVMContext(ctx context.Context, points *matrix.Dense, y []int, family lsh.Family, kf kernel.Func, cfg SVMConfig) (*BucketedSVM, error) {
 	n := points.Rows()
 	if len(y) != n {
 		return nil, fmt.Errorf("kernelml: %d labels for %d points", len(y), n)
@@ -112,6 +137,9 @@ func TrainBucketedSVM(points *matrix.Dense, y []int, family lsh.Family, kf kerne
 		models: make(map[uint64]*bucketModel, len(part.Buckets)),
 	}
 	for _, b := range part.Buckets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kernelml: svm: %w", err)
+		}
 		ens.signatures = append(ens.signatures, b.Signature)
 		subY := make([]int, len(b.Indices))
 		pos, neg := 0, 0

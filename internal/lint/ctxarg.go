@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxArg enforces the standard library's context conventions, which the
+// cancellable pipeline and MapReduce runtime rely on: a context.Context
+// travels as the first parameter of a call chain (named ctx by
+// convention) and is never stored inside a struct, where it would
+// outlive the request it scopes and silently pin its values and cancel
+// signal. Flagged sites: any function, method, function literal, or
+// interface method whose context.Context parameter is not the first
+// parameter, and any struct field of type context.Context.
+var CtxArg = &Analyzer{
+	Name: "ctxarg",
+	Doc: "require context.Context to be the first parameter and " +
+		"forbid storing one in a struct field",
+	Run: runCtxArg,
+}
+
+func runCtxArg(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(pass, x.Params)
+			case *ast.StructType:
+				checkCtxFields(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports context.Context parameters at any flattened
+// position other than the first. The receiver of a method is not a
+// parameter, so a method's context still belongs at position 0.
+func checkCtxParams(pass *Pass, params *ast.FieldList) {
+	if params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range params.List {
+		// An unnamed parameter ("func(context.Context)") occupies one
+		// position; named groups ("a, b int") occupy one per name.
+		count := len(field.Names)
+		if count == 0 {
+			count = 1
+		}
+		if isContextType(pass.Info.TypeOf(field.Type)) && pos != 0 {
+			pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter")
+		}
+		pos += count
+	}
+}
+
+// checkCtxFields reports struct fields whose declared type is
+// context.Context (embedded or named).
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(pass.Info.TypeOf(field.Type)) {
+			pass.Reportf(field.Type.Pos(), "struct field stores a context.Context; pass it as a function argument instead")
+		}
+	}
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -40,6 +40,7 @@ type Analyzer struct {
 
 // All is the analyzer suite run by default, in reporting order.
 var All = []*Analyzer{
+	CtxArg,
 	FloatCmp,
 	ErrcheckGob,
 	GoroutineGuard,

@@ -74,6 +74,7 @@ var golden = []struct {
 	analyzer *Analyzer
 	pos, neg string
 }{
+	{CtxArg, "ctxarg_pos", "ctxarg_neg"},
 	{FloatCmp, "floatcmp_pos", "floatcmp_neg"},
 	{ErrcheckGob, "errcheckgob_pos", "errcheckgob_neg"},
 	{GoroutineGuard, "goroutineguard_pos", "goroutineguard_neg"},

@@ -1,0 +1,46 @@
+// Negative fixtures for the ctxarg analyzer: none of these may be
+// flagged.
+package ctxarg_neg
+
+import "context"
+
+// Context first is the convention.
+func ctxFirst(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// No context at all is fine.
+func plain(a, b int) int { return a + b }
+
+// A method with the context as its first parameter (the receiver is
+// not a parameter).
+type server struct{ n int }
+
+func (s *server) handle(ctx context.Context, id int) {
+	_ = ctx
+	_ = id
+}
+
+// Interface methods follow the same rule.
+type runner interface {
+	Run(ctx context.Context, name string) error
+}
+
+// Function literals too.
+var process = func(ctx context.Context, job string) {
+	_ = ctx
+}
+
+// A context.CancelFunc field is not a context.
+type request struct {
+	cancel context.CancelFunc
+	name   string
+}
+
+// Passing a context through a local variable is fine; only struct
+// storage is flagged.
+func local(ctx context.Context) error {
+	inner := ctx
+	return inner.Err()
+}

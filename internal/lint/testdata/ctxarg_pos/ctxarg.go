@@ -1,0 +1,39 @@
+// Positive fixtures for the ctxarg analyzer: every site below must be
+// flagged.
+package ctxarg_pos
+
+import "context"
+
+func ctxSecond(name string, ctx context.Context) error { // want ctxarg "must be the first parameter"
+	_ = name
+	return ctx.Err()
+}
+
+func ctxLast(a, b int, ctx context.Context) int { // want ctxarg "must be the first parameter"
+	_ = ctx
+	return a + b
+}
+
+type server struct{}
+
+func (s *server) handle(id int, ctx context.Context) { // want ctxarg "must be the first parameter"
+	_ = ctx
+}
+
+type runner interface {
+	Run(name string, ctx context.Context) error // want ctxarg "must be the first parameter"
+}
+
+var process = func(job string, ctx context.Context) { // want ctxarg "must be the first parameter"
+	_ = ctx
+}
+
+type request struct {
+	ctx  context.Context // want ctxarg "struct field stores a context.Context"
+	name string
+}
+
+type embedded struct {
+	context.Context // want ctxarg "struct field stores a context.Context"
+	id              int
+}

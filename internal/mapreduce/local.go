@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,10 +16,17 @@ type Local struct {
 	Workers int
 }
 
-var _ Executor = (*Local)(nil)
+var _ ContextExecutor = (*Local)(nil)
 
 // Run implements Executor.
 func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
+	return l.RunContext(context.Background(), job, input)
+}
+
+// RunContext implements ContextExecutor: cancellation is checked
+// between records inside every map and reduce task, so a mid-job
+// cancel returns within one user map/reduce call.
+func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error) {
 	if err := job.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -53,6 +61,10 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 				local = append(local, Pair{k, v})
 			}
 			for _, rec := range tasks[t] {
+				if err := ctx.Err(); err != nil {
+					results[t].err = fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
+					return
+				}
 				if err := job.Map(rec.Key, rec.Value, emit); err != nil {
 					results[t].err = fmt.Errorf("mapreduce: %s map: %w", job.Name, err)
 					return
@@ -76,6 +88,9 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 		}(t)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, nil, r.err
@@ -110,6 +125,9 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 			pairs := partitions[p]
 			sortPairs(pairs)
 			err := groupSorted(pairs, func(key string, values [][]byte) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				return job.Reduce(key, values, func(k string, v []byte) {
 					red[p].out = append(red[p].out, Pair{k, v})
 				})
@@ -120,6 +138,9 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 		}(p)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+	}
 
 	var out []Pair
 	for _, r := range red {
@@ -135,10 +156,16 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 
 // Chain runs a sequence of jobs, feeding each job's output to the next.
 func Chain(exec Executor, input []Pair, jobs ...*Job) ([]Pair, []*Counters, error) {
+	return ChainContext(context.Background(), exec, input, jobs...)
+}
+
+// ChainContext runs a sequence of jobs under ctx, feeding each job's
+// output to the next and stopping at the first error or cancellation.
+func ChainContext(ctx context.Context, exec Executor, input []Pair, jobs ...*Job) ([]Pair, []*Counters, error) {
 	var counters []*Counters
 	cur := input
 	for _, j := range jobs {
-		out, ctr, err := exec.Run(j, cur)
+		out, ctr, err := RunWithContext(ctx, exec, j, cur)
 		if err != nil {
 			return nil, counters, err
 		}

@@ -8,6 +8,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -70,6 +71,31 @@ type Executor interface {
 	// Run executes the job over the input and returns reduce output in
 	// deterministic (key-sorted, then emission) order.
 	Run(job *Job, input []Pair) ([]Pair, *Counters, error)
+}
+
+// ContextExecutor is an Executor that honors deadlines and
+// cancellation. Both built-in executors (Local and the TCP Master)
+// implement it; Run is equivalent to RunContext with
+// context.Background().
+type ContextExecutor interface {
+	Executor
+	// RunContext executes the job, returning promptly with ctx.Err()
+	// (wrapped) when the context is cancelled or its deadline passes.
+	RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error)
+}
+
+// RunWithContext runs the job on exec under ctx. Executors that
+// implement ContextExecutor get full cooperative cancellation of
+// in-flight map and reduce work; for a plain Executor the context is
+// only checked before the (uninterruptible) Run call.
+func RunWithContext(ctx context.Context, exec Executor, job *Job, input []Pair) ([]Pair, *Counters, error) {
+	if ce, ok := exec.(ContextExecutor); ok {
+		return ce.RunContext(ctx, job, input)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+	}
+	return exec.Run(job, input)
 }
 
 // ErrBadJob reports an incomplete job description.

@@ -1,11 +1,13 @@
 package mapreduce
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP executor splits a job across worker processes connected over
@@ -57,29 +59,76 @@ type resultMsg struct {
 	Err   string
 }
 
+// Default deadlines for the TCP executor. A hung or partitioned peer
+// must never block the master (or a worker) forever; these bound every
+// socket operation while leaving ample room for long-running tasks.
+const (
+	// DefaultDialTimeout bounds a worker's dial of the master.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultIOTimeout bounds one task exchange: the master's write of
+	// the task, the worker's computation, and the read of the result.
+	DefaultIOTimeout = 2 * time.Minute
+)
+
+// TCPConfig configures a TCP master (see NewMasterTCP).
+type TCPConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// MinWorkers is how many workers must join before a job runs.
+	MinWorkers int
+	// DialTimeout bounds connection establishment on the worker side
+	// and is advertised so deployment scripts can match it
+	// (default DefaultDialTimeout).
+	DialTimeout time.Duration
+	// IOTimeout bounds each task exchange with a worker: the write of
+	// the task message and the read of its result, which includes the
+	// worker's compute time. A worker that exceeds it is treated as
+	// failed and its task is re-queued (default DefaultIOTimeout).
+	IOTimeout time.Duration
+}
+
+// withDefaults fills unset timeouts.
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = DefaultIOTimeout
+	}
+	return c
+}
+
 // Master coordinates TCP workers and implements Executor. A Master
 // runs one job at a time; concurrent Run calls are not supported.
 type Master struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg TCPConfig
 
 	mu      sync.Mutex
 	conns   []*workerConn
-	joined  chan struct{} // signaled on each worker join
+	joined  chan struct{} // signaled on each worker join and on Close
 	closed  bool
 	minJoin int
 }
 
 // NewMaster starts listening on addr (e.g. "127.0.0.1:0") and waits for
-// minWorkers workers to join before running any job.
+// minWorkers workers to join before running any job, with default
+// timeouts. Use NewMasterTCP to tune the deadlines.
 func NewMaster(addr string, minWorkers int) (*Master, error) {
-	if minWorkers < 1 {
+	return NewMasterTCP(TCPConfig{Addr: addr, MinWorkers: minWorkers})
+}
+
+// NewMasterTCP starts a master from an explicit configuration.
+func NewMasterTCP(cfg TCPConfig) (*Master, error) {
+	if cfg.MinWorkers < 1 {
 		return nil, errors.New("mapreduce: need at least one worker")
 	}
-	ln, err := net.Listen("tcp", addr)
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: listen: %w", err)
 	}
-	m := &Master{ln: ln, joined: make(chan struct{}, 1024), minJoin: minWorkers}
+	m := &Master{ln: ln, cfg: cfg, joined: make(chan struct{}, 1024), minJoin: cfg.MinWorkers}
 	go m.acceptLoop()
 	return m, nil
 }
@@ -129,6 +178,11 @@ func (m *Master) Close() error {
 		err = errors.Join(err, c.conn.Close())
 	}
 	m.conns = nil
+	// Wake any Run call still waiting for workers to join.
+	select {
+	case m.joined <- struct{}{}:
+	default:
+	}
 	return err
 }
 
@@ -153,11 +207,20 @@ func (m *Master) workers() []*workerConn {
 	return append([]*workerConn(nil), m.conns...)
 }
 
-var _ Executor = (*Master)(nil)
+var _ ContextExecutor = (*Master)(nil)
 
 // Run implements Executor: map tasks and reduce partitions are farmed
 // out to connected workers; the shuffle happens on the master.
 func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
+	return m.RunContext(context.Background(), job, input)
+}
+
+// RunContext implements ContextExecutor. Cancelling the context aborts
+// the job promptly — in-flight task exchanges are unblocked by forcing
+// their socket deadlines — and closes the master: the gob streams of
+// abandoned exchanges are unrecoverable, so a cancelled master cannot
+// be reused (exactly like a master whose job failed).
+func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error) {
 	if err := job.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -177,7 +240,11 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 		if n >= m.minJoin {
 			break
 		}
-		<-m.joined
+		select {
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, ctx.Err())
+		case <-m.joined:
+		}
 	}
 	workers := m.workers()
 	numReducers := job.numReducers()
@@ -190,7 +257,7 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 	for i, t := range mapTasks {
 		msgs[i] = taskMsg{Seq: i, JobName: job.Name, Phase: "map", Conf: job.Conf, NumReducers: numReducers, Records: t}
 	}
-	mapResults, err := m.dispatch(workers, msgs)
+	mapResults, err := m.dispatch(ctx, workers, msgs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,7 +280,7 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 	for p := 0; p < numReducers; p++ {
 		rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p]})
 	}
-	redResults, err := m.dispatch(workers, rmsgs)
+	redResults, err := m.dispatch(ctx, workers, rmsgs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -230,8 +297,10 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 
 // dispatch fans tasks out to workers and collects one result per task.
 // A failing worker is dropped and its in-flight task re-queued; dispatch
-// fails only when no workers remain.
-func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, error) {
+// fails only when no workers remain or the context is cancelled. On
+// cancellation the in-flight exchanges are unblocked by expiring their
+// socket deadlines, and the master is closed (see RunContext).
+func (m *Master) dispatch(ctx context.Context, workers []*workerConn, tasks []taskMsg) ([]resultMsg, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
@@ -246,6 +315,19 @@ func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, 
 		failure error
 		alive   = len(workers)
 	)
+	// Watchdog: a cancelled context force-expires every worker socket so
+	// in-flight Encode/Decode calls return immediately.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, w := range workers {
+				_ = w.conn.SetDeadline(time.Now())
+			}
+		case <-watchdogDone:
+		}
+	}()
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -255,7 +337,7 @@ func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, 
 				mu.Lock()
 				finished := done == len(tasks) || failure != nil
 				mu.Unlock()
-				if finished {
+				if finished || ctx.Err() != nil {
 					return
 				}
 				var task taskMsg
@@ -264,9 +346,10 @@ func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, 
 				default:
 					return // queue drained; remaining tasks are in flight elsewhere
 				}
-				res, err := w.exchange(task)
+				res, err := w.exchange(task, m.cfg.IOTimeout)
 				if err != nil {
-					// Worker connection failed: requeue and retire.
+					// Worker connection failed (or timed out, or the
+					// context expired its deadline): requeue and retire.
 					queue <- task
 					mu.Lock()
 					alive--
@@ -290,6 +373,12 @@ func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, 
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The abandoned gob streams are unusable; tear the master down so
+		// workers see a clean disconnect rather than corrupt frames.
+		_ = m.Close()
+		return nil, fmt.Errorf("mapreduce: job cancelled: %w", err)
+	}
 	if failure != nil {
 		return nil, failure
 	}
@@ -299,9 +388,17 @@ func (m *Master) dispatch(workers []*workerConn, tasks []taskMsg) ([]resultMsg, 
 	return results, nil
 }
 
-func (w *workerConn) exchange(task taskMsg) (resultMsg, error) {
+// exchange sends one task and reads its result, bounding both socket
+// operations (and the worker's compute time in between) by ioTimeout.
+func (w *workerConn) exchange(task taskMsg, ioTimeout time.Duration) (resultMsg, error) {
 	var res resultMsg
+	if err := w.conn.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return res, err
+	}
 	if err := w.enc.Encode(&task); err != nil {
+		return res, err
+	}
+	if err := w.conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
 		return res, err
 	}
 	if err := w.dec.Decode(&res); err != nil {
@@ -313,22 +410,55 @@ func (w *workerConn) exchange(task taskMsg) (resultMsg, error) {
 // RunWorker connects to a master and serves tasks until the master
 // closes the connection, at which point it returns nil. Jobs must have
 // been Registered in this process.
-func RunWorker(addr string) (err error) {
-	conn, derr := net.Dial("tcp", addr)
+func RunWorker(addr string) error {
+	return RunWorkerContext(context.Background(), addr)
+}
+
+// RunWorkerContext connects to a master (bounded by DefaultDialTimeout)
+// and serves tasks until the master closes the connection (returns nil)
+// or ctx is cancelled (returns the context error). The idle wait for
+// the next task is unbounded — a healthy master may simply have no work
+// — but every result write is bounded by DefaultIOTimeout.
+func RunWorkerContext(ctx context.Context, addr string) (err error) {
+	dialer := net.Dialer{Timeout: DefaultDialTimeout}
+	conn, derr := dialer.DialContext(ctx, "tcp", addr)
 	if derr != nil {
 		return fmt.Errorf("mapreduce: dial master: %w", derr)
 	}
 	defer func() { err = errors.Join(err, conn.Close()) }()
+	// Watchdog: cancellation force-expires the socket so a blocked
+	// Decode (idle worker) or Encode (mid-send) returns immediately.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-watchdogDone:
+		}
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		var task taskMsg
-		if err := dec.Decode(&task); err != nil {
+		if derr := dec.Decode(&task); derr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return nil // master closed the connection: clean shutdown
 		}
 		res := executeTask(task)
-		if err := enc.Encode(&res); err != nil {
-			return fmt.Errorf("mapreduce: send result: %w", err)
+		if werr := conn.SetWriteDeadline(time.Now().Add(DefaultIOTimeout)); werr != nil {
+			return fmt.Errorf("mapreduce: send result: %w", werr)
+		}
+		if werr := enc.Encode(&res); werr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("mapreduce: send result: %w", werr)
 		}
 	}
 }
