@@ -13,6 +13,7 @@
 package dasc_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/baseline"
@@ -151,7 +152,7 @@ func BenchmarkAblationDimensionPolicy(b *testing.B) {
 func BenchmarkAblationM(b *testing.B) {
 	l := ablationData(b)
 	for _, m := range []int{2, 4, 6, 8, 12} {
-		b.Run(string(rune('0'+m/10))+string(rune('0'+m%10))+"bits", func(b *testing.B) {
+		b.Run(fmt.Sprintf("%02dbits", m), func(b *testing.B) {
 			reportDASC(b, l, core.Config{K: 16, Seed: 1, M: m})
 		})
 	}
@@ -238,8 +239,9 @@ func BenchmarkAblationEigensolver(b *testing.B) {
 // ---- substrate micro-benchmarks ----
 
 func BenchmarkGramMatrix(b *testing.B) {
+	b.ReportAllocs()
 	l, _ := dataset.Mixture(dataset.MixtureConfig{N: 512, D: 64, K: 4, Seed: 3})
-	k := kernel.Gaussian(1)
+	k := kernel.NewGaussian(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kernel.Gram(l.Points, k)
@@ -247,6 +249,7 @@ func BenchmarkGramMatrix(b *testing.B) {
 }
 
 func BenchmarkLSHSignatures(b *testing.B) {
+	b.ReportAllocs()
 	l, _ := dataset.Mixture(dataset.MixtureConfig{N: 4096, D: 64, K: 8, Seed: 4})
 	h, err := lsh.Fit(l.Points, lsh.Config{M: 10})
 	if err != nil {
@@ -259,6 +262,7 @@ func BenchmarkLSHSignatures(b *testing.B) {
 }
 
 func BenchmarkKMeans(b *testing.B) {
+	b.ReportAllocs()
 	l, _ := dataset.Mixture(dataset.MixtureConfig{N: 2048, D: 16, K: 8, Seed: 5})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -269,6 +273,7 @@ func BenchmarkKMeans(b *testing.B) {
 }
 
 func BenchmarkEigenSymDense(b *testing.B) {
+	b.ReportAllocs()
 	l, _ := dataset.Mixture(dataset.MixtureConfig{N: 128, D: 16, K: 4, Seed: 6})
 	s := kernel.Gram(l.Points, kernel.Gaussian(0.5))
 	b.ResetTimer()
@@ -280,6 +285,7 @@ func BenchmarkEigenSymDense(b *testing.B) {
 }
 
 func BenchmarkPorterStem(b *testing.B) {
+	b.ReportAllocs()
 	words := []string{"clustering", "approximation", "signatures", "relational",
 		"probabilistic", "dimensionality", "hopefulness", "generalizations"}
 	b.ResetTimer()
@@ -291,6 +297,7 @@ func BenchmarkPorterStem(b *testing.B) {
 }
 
 func BenchmarkMapReduceLocalWordCount(b *testing.B) {
+	b.ReportAllocs()
 	doc, err := corpus.Generate(corpus.Config{NumDocs: 64, NumCategories: 4, Seed: 7})
 	if err != nil {
 		b.Fatal(err)

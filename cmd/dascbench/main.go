@@ -1,0 +1,193 @@
+// Command dascbench is the repository's JSON benchmark harness: it
+// times the hot paths of the DASC pipeline (blocked Gram engine,
+// sub-Gram, median-sigma, the end-to-end clusterer and the SC baseline)
+// with fixed iteration counts and stdlib timing, and writes the results
+// to BENCH_<n>.json, where <n> is the next free index in the output
+// directory. Unlike `go test -bench`, the output is machine-readable
+// and append-only across runs, so successive PRs leave a comparable
+// performance trail.
+//
+// Usage:
+//
+//	go run ./cmd/dascbench            # full run, writes BENCH_<n>.json
+//	go run ./cmd/dascbench -quick     # CI smoke: fewer iterations
+//	go run ./cmd/dascbench -iters 20  # explicit iteration count
+//	go run ./cmd/dascbench -out dir   # output directory (default ".")
+//	go run ./cmd/dascbench -note "…"  # free-form note stored in the file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+)
+
+// Result is one benchmark's record. Acc and GramFrac are only set for
+// the end-to-end entries where clustering quality and Gram compression
+// are meaningful.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Acc         float64 `json:"acc,omitempty"`
+	GramFrac    float64 `json:"gramfrac,omitempty"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	Note    string   `json:"note,omitempty"`
+	Date    string   `json:"date"`
+	Iters   int      `json:"iters"`
+	Results []Result `json:"results"`
+}
+
+// measure runs f iters times and returns wall time and heap
+// allocations per op, both measured with the stdlib only.
+func measure(iters int, f func()) (nsPerOp, allocsPerOp int64) {
+	f() // warm-up: pools, caches, lazy init
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return elapsed.Nanoseconds() / n, int64(after.Mallocs-before.Mallocs) / n
+}
+
+// nextBenchPath returns <dir>/BENCH_<n>.json for the smallest n >= 1
+// that does not exist yet.
+func nextBenchPath(dir string) (string, error) {
+	for n := 1; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "CI smoke mode: fewer iterations")
+	iters := flag.Int("iters", 0, "iterations per benchmark (0 = 10, or 2 with -quick)")
+	out := flag.String("out", ".", "output directory for BENCH_<n>.json")
+	note := flag.String("note", "", "free-form note stored in the report")
+	flag.Parse()
+
+	it := *iters
+	if it <= 0 {
+		if *quick {
+			it = 2
+		} else {
+			it = 10
+		}
+	}
+
+	// The datasets mirror the root go-test benchmarks (bench_test.go) so
+	// the two suites stay comparable: 512 x 64 for the Gram substrate,
+	// the 1024 x 32 mixture for the end-to-end comparison.
+	gramData, err := dataset.Mixture(dataset.MixtureConfig{N: 512, D: 64, K: 4, Seed: 3})
+	if err != nil {
+		return err
+	}
+	e2eData, err := dataset.Mixture(dataset.MixtureConfig{N: 1024, D: 32, K: 8, Noise: 0.03, Seed: 8})
+	if err != nil {
+		return err
+	}
+
+	rep := &Report{Note: *note, Date: time.Now().UTC().Format(time.RFC3339), Iters: it}
+	add := func(name string, acc, gramfrac float64, f func()) {
+		ns, allocs := measure(it, f)
+		rep.Results = append(rep.Results, Result{
+			Name: name, NsPerOp: ns, AllocsPerOp: allocs, Acc: acc, GramFrac: gramfrac,
+		})
+		fmt.Printf("%-24s %12d ns/op %8d allocs/op\n", name, ns, allocs)
+	}
+
+	fast := kernel.NewGaussian(1)
+	generic := kernel.Func(fast.Eval) // same kernel, forced down the generic path
+	add("gram/fast", 0, 0, func() { kernel.Gram(gramData.Points, fast) })
+	add("gram/generic", 0, 0, func() { kernel.Gram(gramData.Points, generic) })
+
+	// One mid-size bucket: every third row, the shape the per-bucket
+	// solve stage feeds SubGram.
+	indices := make([]int, 0, gramData.Points.Rows()/3)
+	for i := 0; i < gramData.Points.Rows(); i += 3 {
+		indices = append(indices, i)
+	}
+	add("subgram/fast", 0, 0, func() { kernel.SubGram(gramData.Points, indices, fast) })
+	add("median-sigma", 0, 0, func() { kernel.MedianSigma(gramData.Points, 512, 7) })
+
+	var dascRes *core.Result
+	var dascErr error
+	add("dasc/cluster", 0, 0, func() {
+		dascRes, dascErr = core.Cluster(e2eData.Points, core.Config{K: 8, Seed: 1})
+	})
+	if dascErr != nil {
+		return dascErr
+	}
+	acc, err := metrics.Accuracy(e2eData.Labels, dascRes.Labels)
+	if err != nil {
+		return err
+	}
+	n := e2eData.Points.Rows()
+	last := &rep.Results[len(rep.Results)-1]
+	last.Acc = acc
+	last.GramFrac = float64(dascRes.GramBytes) / float64(kernel.GramBytes(n))
+
+	if !*quick {
+		var scRes *baseline.Result
+		var scErr error
+		add("sc/cluster", 0, 0, func() {
+			scRes, scErr = baseline.SC(e2eData.Points, baseline.Config{K: 8, Seed: 1})
+		})
+		if scErr != nil {
+			return scErr
+		}
+		scAcc, err := metrics.Accuracy(e2eData.Labels, scRes.Labels)
+		if err != nil {
+			return err
+		}
+		last := &rep.Results[len(rep.Results)-1]
+		last.Acc = scAcc
+		last.GramFrac = 1
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	path, err := nextBenchPath(*out)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dascbench:", err)
+		os.Exit(1)
+	}
+}

@@ -150,11 +150,19 @@ func SpectralCluster(similarity *Matrix, k int, seed int64) ([]int, error) {
 
 // ---- kernels ----
 
-// Kernel is a positive-semidefinite similarity function.
-type Kernel = kernel.Func
+// Kernel is a positive-semidefinite similarity function. A plain
+// closure of type kernel.Func satisfies it; kernels built with Gaussian
+// (and kernel.NewCosine) are additionally recognized by the blocked
+// Gram engine and computed several times faster.
+type Kernel = kernel.Kernel
 
-// Gaussian returns the RBF kernel of Eq. 1.
-func Gaussian(sigma float64) Kernel { return kernel.Gaussian(sigma) }
+// KernelFunc adapts a plain similarity closure into a Kernel. Closure
+// kernels always take the engine's generic per-pair path.
+func KernelFunc(f func(x, y []float64) float64) Kernel { return kernel.Func(f) }
+
+// Gaussian returns the RBF kernel of Eq. 1, in the recognized form the
+// blocked Gram engine computes on its fast path.
+func Gaussian(sigma float64) Kernel { return kernel.NewGaussian(sigma) }
 
 // Gram computes the full zero-diagonal similarity matrix.
 func Gram(points *Matrix, k Kernel) *Matrix { return kernel.Gram(points, k) }

@@ -49,7 +49,7 @@ func (c Config) sigma(points *matrix.Dense) float64 {
 // SC runs plain spectral clustering on the full N x N Gram matrix.
 func SC(points *matrix.Dense, cfg Config) (*Result, error) {
 	start := time.Now()
-	s := kernel.Gram(points, kernel.Gaussian(cfg.sigma(points)))
+	s := kernel.Gram(points, kernel.NewGaussian(cfg.sigma(points)))
 	res, err := spectral.Cluster(s, spectral.Config{K: cfg.K, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err

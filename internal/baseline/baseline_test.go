@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
 )
@@ -223,9 +224,9 @@ func TestKNNGraphSymmetry(t *testing.T) {
 	for i := range pts.Data() {
 		pts.Data()[i] = rng.Float64()
 	}
-	g, err := buildKNNGraph(pts, 5, func(x, y []float64) float64 {
+	g, err := buildKNNGraph(pts, 5, kernel.Func(func(x, y []float64) float64 {
 		return 1 / (1 + matrix.SqDist(x, y))
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

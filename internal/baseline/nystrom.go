@@ -45,7 +45,7 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 		m = n
 	}
 	start := time.Now()
-	kf := kernel.Gaussian(cfg.sigma(points))
+	kf := kernel.NewGaussian(cfg.sigma(points))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Landmark sample without replacement (Fisher–Yates prefix).
@@ -59,7 +59,7 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 		w.Set(a, a, 1)
 		xa := points.Row(landmarks[a])
 		for b := a + 1; b < m; b++ {
-			v := kf(xa, points.Row(landmarks[b]))
+			v := kf.Eval(xa, points.Row(landmarks[b]))
 			w.Set(a, b, v)
 			w.Set(b, a, v)
 		}
@@ -74,7 +74,7 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 				row[b] = 1
 				continue
 			}
-			row[b] = kf(xi, points.Row(landmarks[b]))
+			row[b] = kf.Eval(xi, points.Row(landmarks[b]))
 		}
 	}
 

@@ -50,7 +50,7 @@ func PSC(points *matrix.Dense, cfg Config) (*Result, error) {
 		k = n
 	}
 
-	graph, err := buildKNNGraph(points, t, kernel.Gaussian(cfg.sigma(points)))
+	graph, err := buildKNNGraph(points, t, kernel.NewGaussian(cfg.sigma(points)))
 	if err != nil {
 		return nil, fmt.Errorf("baseline: PSC graph: %w", err)
 	}
@@ -77,7 +77,7 @@ type edge struct {
 
 // buildKNNGraph computes each point's t nearest neighbours in parallel
 // and returns the OR-symmetrized CSR similarity graph.
-func buildKNNGraph(points *matrix.Dense, t int, k kernel.Func) (*sparse.CSR, error) {
+func buildKNNGraph(points *matrix.Dense, t int, k kernel.Kernel) (*sparse.CSR, error) {
 	n := points.Rows()
 	nbrs := make([][]edge, n)
 	workers := runtime.GOMAXPROCS(0)
@@ -102,7 +102,7 @@ func buildKNNGraph(points *matrix.Dense, t int, k kernel.Func) (*sparse.CSR, err
 					if j == i {
 						continue
 					}
-					w := k(xi, points.Row(j))
+					w := k.Eval(xi, points.Row(j))
 					if len(h.edges) < t {
 						heap.Push(h, edge{j, w})
 					} else if w > h.edges[0].w {

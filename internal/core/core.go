@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytic"
@@ -181,34 +183,64 @@ func (*localRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]
 	return solveBucketsParallel(ctx, p, part)
 }
 
-// solveBucketsParallel runs the per-bucket solve stage on a worker pool
-// of p.Cfg.Workers goroutines, checking the context before each bucket.
+// solveBucketsParallel runs the per-bucket solve stage on a fixed pool
+// of p.Cfg.Workers goroutines with LPT (longest-processing-time-first)
+// scheduling: buckets are dispatched in descending size order, since a
+// bucket's solve cost grows like Ni^2 (sub-Gram) to Ni^3 (eigensolve)
+// and starting the giants first minimizes the makespan tail where one
+// huge bucket begins after every small one has drained the pool.
+// Workers pull from an atomic cursor over the sorted order and write
+// each solution back at its original bucket index, so the returned
+// slice is identical to in-order execution — scheduling never changes
+// labels. Each worker reuses one sub-Gram scratch buffer across all the
+// buckets it processes.
 func solveBucketsParallel(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
 	n := p.Points.Rows()
 	sols := make([]BucketSolution, len(part.Buckets))
 	errs := make([]error, len(part.Buckets))
-	kf := kernel.Gaussian(p.Sigma)
+	kf := kernel.NewGaussian(p.Sigma)
 
+	order := make([]int, len(part.Buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(part.Buckets[order[a]].Indices) > len(part.Buckets[order[b]].Indices)
+	})
+
+	workers := p.Cfg.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.Cfg.Workers)
-	for bi := range part.Buckets {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(bi int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[bi] = err
-				return
+			var scratch []float64
+			for {
+				oi := int(cursor.Add(1)) - 1
+				if oi >= len(order) {
+					return
+				}
+				bi := order[oi]
+				if err := ctx.Err(); err != nil {
+					errs[bi] = err
+					return
+				}
+				b := part.Buckets[bi]
+				labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
+				if err != nil {
+					errs[bi] = fmt.Errorf("core: bucket %x: %w", b.Signature, err)
+					continue
+				}
+				sols[bi] = BucketSolution{Labels: labels, K: k}
 			}
-			b := part.Buckets[bi]
-			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf)
-			if err != nil {
-				errs[bi] = fmt.Errorf("core: bucket %x: %w", b.Signature, err)
-				return
-			}
-			sols[bi] = BucketSolution{Labels: labels, K: k}
-		}(bi)
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -238,7 +270,12 @@ func BucketK(k, ni, n int) int {
 
 // clusterOneBucket runs the per-bucket pipeline: sub-Gram, normalized
 // Laplacian, eigenvectors, K-means. Tiny buckets short-circuit.
-func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Func) ([]int, int, error) {
+//
+// The sub-Gram is built inside *buf (grown as needed and reused across
+// calls — each worker owns one) and consumed in place: the Laplacian
+// overwrites it, so nothing retains the buffer after the solve. buf may
+// point to a nil slice on first use.
+func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Kernel, buf *[]float64) ([]int, int, error) {
 	ni := len(indices)
 	ki := BucketK(cfg.K, ni, n)
 	if ni == 1 || ki == 1 {
@@ -251,8 +288,15 @@ func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf
 		}
 		return labels, ni, nil
 	}
-	sub := kernel.SubGram(points, indices, kf)
-	res, err := spectral.Cluster(sub, spectral.Config{K: ki, Seed: cfg.Seed + int64(indices[0])})
+	if cap(*buf) < ni*ni {
+		*buf = make([]float64, ni*ni)
+	}
+	sub, err := matrix.NewDenseData(ni, ni, (*buf)[:ni*ni])
+	if err != nil {
+		return nil, 0, err
+	}
+	kernel.SubGramInto(sub, points, indices, kf)
+	res, err := spectral.ClusterInPlace(sub, spectral.Config{K: ki, Seed: cfg.Seed + int64(indices[0])})
 	if err == nil {
 		return res.Labels, ki, nil
 	}

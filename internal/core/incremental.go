@@ -114,7 +114,8 @@ func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partit
 	}
 
 	sols := make([]BucketSolution, len(part.Buckets))
-	kf := kernel.Gaussian(p.Sigma)
+	kf := kernel.NewGaussian(p.Sigma)
+	var scratch []float64 // one sub-Gram buffer reused across the whole sweep
 	for w, wave := range waves {
 		if waveLoad[w] > r.peak {
 			r.peak = waveLoad[w]
@@ -124,7 +125,7 @@ func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partit
 				return nil, fmt.Errorf("core: incremental: %w", err)
 			}
 			b := part.Buckets[bi]
-			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf)
+			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 			}

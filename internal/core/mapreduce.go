@@ -167,7 +167,7 @@ func LSHJob(prefix string, points *matrix.Dense, hasher *lsh.Hasher) *mapreduce.
 // (bucketSig, point/label/k) record per point.
 func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) *mapreduce.Job {
 	n := points.Rows()
-	kf := kernel.Gaussian(sigma)
+	kf := kernel.NewGaussian(sigma)
 	job := &mapreduce.Job{
 		Name:        prefix + "/cluster",
 		NumReducers: 4,
@@ -176,12 +176,15 @@ func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) 
 			return nil
 		},
 		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
+			// Reducers may run concurrently, so the sub-Gram scratch is
+			// per-invocation; it is still reused across this key's values.
+			var scratch []float64
 			for _, v := range values {
 				indices, err := decodeIndices(v)
 				if err != nil {
 					return err
 				}
-				labels, k, err := clusterOneBucket(points, indices, cfg, n, kf)
+				labels, k, err := clusterOneBucket(points, indices, cfg, n, kf, &scratch)
 				if err != nil {
 					return err
 				}

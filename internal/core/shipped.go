@@ -180,8 +180,8 @@ func clusterShippedBucket(pts *matrix.Dense, c clusterConf, indices []int32) ([]
 	for i := range all {
 		all[i] = i
 	}
-	sub := kernel.SubGram(pts, all, kernel.Gaussian(c.Sigma))
-	res, err := spectral.Cluster(sub, spectral.Config{K: ki, Seed: c.Seed + int64(indices[0])})
+	sub := kernel.SubGram(pts, all, kernel.NewGaussian(c.Sigma))
+	res, err := spectral.ClusterInPlace(sub, spectral.Config{K: ki, Seed: c.Seed + int64(indices[0])})
 	if err == nil {
 		return res.Labels, ki, nil
 	}

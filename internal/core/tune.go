@@ -41,7 +41,7 @@ func TuneM(points *matrix.Dense, cfg Config, minFnormRatio float64, samplePairs 
 	if sigma <= 0 {
 		sigma = kernel.MedianSigma(points, 512, cfg.Seed)
 	}
-	kf := kernel.Gaussian(sigma)
+	kf := kernel.NewGaussian(sigma)
 
 	// Sample pairs once; reuse them for every M so the sweep is
 	// monotone in the partition, not in sampling noise.
@@ -57,7 +57,7 @@ func TuneM(points *matrix.Dense, cfg Config, minFnormRatio float64, samplePairs 
 		if i == j {
 			continue
 		}
-		v := kf(points.Row(i), points.Row(j))
+		v := kf.Eval(points.Row(i), points.Row(j))
 		p := pair{i, j, v * v}
 		pairs = append(pairs, p)
 		fullSq += p.v2

@@ -36,7 +36,7 @@ func Figure5(scale Scale) (*Table, error) {
 			return nil, err
 		}
 		sigma := kernel.MedianSigma(l.Points, 512, 1)
-		kf := kernel.Gaussian(sigma)
+		kf := kernel.NewGaussian(sigma)
 		fullSq := fullGramNormSq(l.Points, kf)
 		for _, m := range ms {
 			h, err := lsh.Fit(l.Points, lsh.Config{M: m, Seed: 1})
@@ -61,13 +61,13 @@ func Figure5(scale Scale) (*Table, error) {
 
 // fullGramNormSq streams the squared Frobenius norm of the full Gram
 // matrix (zero diagonal, as everywhere else in the pipeline).
-func fullGramNormSq(points *matrix.Dense, kf kernel.Func) float64 {
+func fullGramNormSq(points *matrix.Dense, kf kernel.Kernel) float64 {
 	n := points.Rows()
 	var sum float64
 	for i := 0; i < n; i++ {
 		xi := points.Row(i)
 		for j := i + 1; j < n; j++ {
-			v := kf(xi, points.Row(j))
+			v := kf.Eval(xi, points.Row(j))
 			sum += 2 * v * v
 		}
 	}
@@ -76,13 +76,13 @@ func fullGramNormSq(points *matrix.Dense, kf kernel.Func) float64 {
 
 // approxGramNormSq streams the squared norm of the block-diagonal
 // approximation: only intra-bucket pairs contribute.
-func approxGramNormSq(points *matrix.Dense, part *lsh.Partition, kf kernel.Func) float64 {
+func approxGramNormSq(points *matrix.Dense, part *lsh.Partition, kf kernel.Kernel) float64 {
 	var sum float64
 	for _, b := range part.Buckets {
 		for a := 0; a < len(b.Indices); a++ {
 			xa := points.Row(b.Indices[a])
 			for c := a + 1; c < len(b.Indices); c++ {
-				v := kf(xa, points.Row(b.Indices[c]))
+				v := kf.Eval(xa, points.Row(b.Indices[c]))
 				sum += 2 * v * v
 			}
 		}

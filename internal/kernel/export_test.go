@@ -1,0 +1,11 @@
+package kernel
+
+import "repro/internal/matrix"
+
+// gramIntoForTest exposes the engine's worker knob so tests can force
+// the parallel path on machines where GOMAXPROCS is 1 (the -race
+// coverage of the block-pair work stealing depends on it) and the
+// serial path regardless of size.
+func gramIntoForTest(s *matrix.Dense, points *matrix.Dense, indices []int, k Kernel, workers int) {
+	gramInto(s, points, indices, k, workers)
+}

@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// randPoints builds an n x d matrix of standard normals.
+func randPoints(n, d int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewDense(n, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// asGeneric strips the recognized type from a kernel so the engine
+// takes the generic per-pair path with the same pairwise function.
+func asGeneric(k Kernel) Kernel { return Func(k.Eval) }
+
+// fastKernels are the recognized kernels the blocked engine accelerates.
+func fastKernels() map[string]Kernel {
+	return map[string]Kernel{
+		"gaussian": NewGaussian(0.8),
+		"cosine":   NewCosine(),
+	}
+}
+
+// TestFastGramMatchesGeneric sweeps dimensions through the unroll
+// boundaries (1..65 crosses every 4-wide remainder case) and checks the
+// blocked fast path against the generic per-pair path.
+func TestFastGramMatchesGeneric(t *testing.T) {
+	for name, k := range fastKernels() {
+		for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 63, 64, 65} {
+			pts := randPoints(40, d, int64(d)+7)
+			got := Gram(pts, k)
+			want := Gram(pts, asGeneric(k))
+			if !matrix.Equal(got, want, 1e-12) {
+				t.Fatalf("%s d=%d: fast and generic Gram differ", name, d)
+			}
+		}
+	}
+}
+
+// TestFastGramBlockBoundaries sweeps the matrix size through the
+// block-row boundaries, where edge blocks are smaller than blockRows.
+func TestFastGramBlockBoundaries(t *testing.T) {
+	for name, k := range fastKernels() {
+		for _, n := range []int{1, 2, 63, 64, 65, 100, 129} {
+			pts := randPoints(n, 9, int64(n))
+			got := Gram(pts, k)
+			want := Gram(pts, asGeneric(k))
+			if !matrix.Equal(got, want, 1e-12) {
+				t.Fatalf("%s n=%d: fast and generic Gram differ", name, n)
+			}
+			for i := 0; i < n; i++ {
+				if !matrix.IsZero(got.At(i, i)) {
+					t.Fatalf("%s n=%d: diagonal entry %d not zero", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFastSubGramMatchesGeneric checks bucketed sub-Grams, including
+// the empty and singleton buckets the LSH partition can produce.
+func TestFastSubGramMatchesGeneric(t *testing.T) {
+	pts := randPoints(120, 17, 3)
+	rng := rand.New(rand.NewSource(4))
+	buckets := [][]int{
+		{},
+		{5},
+		{119, 0},
+		rng.Perm(120)[:67], // crosses one block boundary
+		rng.Perm(120),      // full permutation: every row, shuffled
+	}
+	for name, k := range fastKernels() {
+		for bi, idxs := range buckets {
+			got := SubGram(pts, idxs, k)
+			want := SubGram(pts, idxs, asGeneric(k))
+			if !matrix.Equal(got, want, 1e-12) {
+				t.Fatalf("%s bucket %d (size %d): fast and generic SubGram differ", name, bi, len(idxs))
+			}
+			if got.Rows() != len(idxs) || got.Cols() != len(idxs) {
+				t.Fatalf("%s bucket %d: got %dx%d", name, bi, got.Rows(), got.Cols())
+			}
+		}
+	}
+}
+
+// TestGramParallelMatchesSerial forces the worker pool on (GOMAXPROCS
+// here may be 1) and requires bit-identical output: the deterministic
+// block decomposition must make worker count unobservable. Run with
+// -race this doubles as the engine's data-race check.
+func TestGramParallelMatchesSerial(t *testing.T) {
+	pts := randPoints(parallelCutoff+41, 12, 9)
+	n := pts.Rows()
+	for name, k := range fastKernels() {
+		serial := matrix.NewDense(n, n)
+		gramIntoForTest(serial, pts, nil, k, 1)
+		parallel := matrix.NewDense(n, n)
+		gramIntoForTest(parallel, pts, nil, k, 4)
+		if !matrix.Equal(serial, parallel, 0) {
+			t.Fatalf("%s: parallel Gram differs from serial", name)
+		}
+	}
+	// Generic path, same contract.
+	gk := asGeneric(NewGaussian(1.1))
+	serial := matrix.NewDense(n, n)
+	gramIntoForTest(serial, pts, nil, gk, 1)
+	parallel := matrix.NewDense(n, n)
+	gramIntoForTest(parallel, pts, nil, gk, 4)
+	if !matrix.Equal(serial, parallel, 0) {
+		t.Fatal("generic: parallel Gram differs from serial")
+	}
+}
+
+// TestSubGramParallelMatchesSerial is the bucketed form of the worker
+// determinism check, with indices forcing the gather path.
+func TestSubGramParallelMatchesSerial(t *testing.T) {
+	pts := randPoints(parallelCutoff+80, 10, 11)
+	idxs := rand.New(rand.NewSource(12)).Perm(pts.Rows())[:parallelCutoff+10]
+	for name, k := range fastKernels() {
+		serial := matrix.NewDense(len(idxs), len(idxs))
+		gramIntoForTest(serial, pts, idxs, k, 1)
+		parallel := matrix.NewDense(len(idxs), len(idxs))
+		gramIntoForTest(parallel, pts, idxs, k, 4)
+		if !matrix.Equal(serial, parallel, 0) {
+			t.Fatalf("%s: parallel SubGram differs from serial", name)
+		}
+	}
+}
+
+// referenceMedianSigma is the pre-engine implementation of MedianSigma
+// (per-pair SqDist, full sort); the optimized version must reproduce
+// its sigma for the same seed up to floating-point reassociation.
+func referenceMedianSigma(points *matrix.Dense, sampleSize int, seed int64) float64 {
+	n := points.Rows()
+	if n < 2 {
+		return 1
+	}
+	if sampleSize <= 0 {
+		sampleSize = 256
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := sampleSize
+	if max := n * (n - 1) / 2; pairs > max {
+		pairs = max
+	}
+	var dists []float64
+	for len(dists) < pairs {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		dists = append(dists, math.Sqrt(matrix.SqDist(points.Row(i), points.Row(j))))
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med <= 0 {
+		return 1
+	}
+	return med
+}
+
+func TestMedianSigmaMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pts := randPoints(90, 6, seed+100)
+		got := MedianSigma(pts, 512, seed)
+		want := referenceMedianSigma(pts, 512, seed)
+		if !matrix.ApproxEqual(got, want, 1e-9*(1+want)) {
+			t.Fatalf("seed %d: MedianSigma %v, reference %v", seed, got, want)
+		}
+	}
+	// Tiny datasets keep their documented fallback.
+	if got := MedianSigma(randPoints(1, 3, 1), 64, 0); !matrix.ApproxEqual(got, 1, 0) {
+		t.Fatalf("n=1 sigma = %v, want 1", got)
+	}
+}
+
+// TestRecognizedEvalMatchesFunc pins the Eval of the recognized kernels
+// to the plain Func forms, which older call sites still construct.
+func TestRecognizedEvalMatchesFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := make([]float64, 15)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	if g, f := NewGaussian(0.6).Eval(x, y), Gaussian(0.6)(x, y); !matrix.ApproxEqual(g, f, 0) {
+		t.Fatalf("gaussian Eval %v != Func %v", g, f)
+	}
+	if c, f := NewCosine().Eval(x, y), Cosine()(x, y); !matrix.ApproxEqual(c, f, 0) {
+		t.Fatalf("cosine Eval %v != Func %v", c, f)
+	}
+	zero := make([]float64, 15)
+	if v := NewCosine().Eval(x, zero); !matrix.IsZero(v) {
+		t.Fatalf("cosine with zero vector = %v, want 0", v)
+	}
+}
+
+func TestNewGaussianRejectsBadSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGaussian(0) did not panic")
+		}
+	}()
+	NewGaussian(0)
+}

@@ -3,6 +3,12 @@
 // matrices (DASC step 3). The Gaussian RBF of Eq. 1 is the default
 // kernel; the bandwidth can be fixed or derived from the data by the
 // median-distance heuristic.
+//
+// All Gram construction funnels through the blocked compute engine in
+// fast.go: kernels the engine recognizes (NewGaussian, NewCosine) are
+// computed from precomputed row norms and unrolled dot products,
+// parallel over row blocks; closure kernels (Func) remain fully
+// supported through the generic per-pair fallback.
 package kernel
 
 import (
@@ -10,26 +16,21 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/matrix"
 )
 
 // Func is a positive-semidefinite similarity kernel over point pairs.
+// A Func is also a Kernel (see fast.go) and always takes the engine's
+// generic path; use NewGaussian/NewCosine for the blocked fast path.
 type Func func(x, y []float64) float64
 
-// Gaussian returns the RBF kernel of Eq. 1 with bandwidth sigma:
-// exp(-||x-y||^2 / (2 sigma^2)). It panics if sigma <= 0.
+// Gaussian returns the RBF kernel of Eq. 1 with bandwidth sigma as a
+// plain Func: exp(-||x-y||^2 / (2 sigma^2)). It panics if sigma <= 0.
+// Hot paths should prefer NewGaussian, whose result the Gram engine
+// recognizes.
 func Gaussian(sigma float64) Func {
-	if sigma <= 0 {
-		matrix.Panicf("kernel: sigma %v must be positive", sigma)
-	}
-	inv := 1 / (2 * sigma * sigma)
-	return func(x, y []float64) float64 {
-		return math.Exp(-matrix.SqDist(x, y) * inv)
-	}
+	return NewGaussian(sigma).Eval
 }
 
 // Polynomial returns the kernel (gamma <x,y> + c)^degree, the second
@@ -49,17 +50,12 @@ func Polynomial(degree int, gamma, c float64) Func {
 	}
 }
 
-// Cosine returns the cosine-similarity kernel <x,y>/(|x||y|), the
-// natural choice for the tf-idf document vectors of §5.2 (where rows
-// are unit length it reduces to the dot product). Zero vectors yield 0.
+// Cosine returns the cosine-similarity kernel <x,y>/(|x||y|) as a plain
+// Func — the natural choice for the tf-idf document vectors of §5.2
+// (where rows are unit length it reduces to the dot product). Zero
+// vectors yield 0. Hot paths should prefer NewCosine.
 func Cosine() Func {
-	return func(x, y []float64) float64 {
-		nx, ny := matrix.Norm2(x), matrix.Norm2(y)
-		if matrix.IsZero(nx) || matrix.IsZero(ny) {
-			return 0
-		}
-		return matrix.Dot(x, y) / (nx * ny)
-	}
+	return NewCosine().Eval
 }
 
 // MedianSigma estimates a bandwidth as the median pairwise distance of
@@ -74,20 +70,28 @@ func MedianSigma(points *matrix.Dense, sampleSize int, seed int64) float64 {
 		sampleSize = 256
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var dists []float64
 	pairs := sampleSize
 	if max := n * (n - 1) / 2; pairs > max {
 		pairs = max
 	}
+	// Precomputed row norms turn each sampled distance into one dot
+	// product: ||x-y||^2 = ||x||^2 + ||y||^2 - 2 x.y.
+	sqTok, sq := getScratch(n)
+	defer putScratch(sqTok)
+	matrix.SqNormsInto(sq, points)
+	dists := make([]float64, 0, pairs)
 	for len(dists) < pairs {
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i == j {
 			continue
 		}
-		dists = append(dists, matrix.Dist(points.Row(i), points.Row(j)))
+		d2 := sq[i] + sq[j] - 2*matrix.Dot4(points.Row(i), points.Row(j))
+		if d2 < 0 {
+			d2 = 0
+		}
+		dists = append(dists, math.Sqrt(d2))
 	}
-	sort.Float64s(dists)
-	med := dists[len(dists)/2]
+	med := matrix.SelectKth(dists, len(dists)/2)
 	if med <= 0 {
 		return 1
 	}
@@ -96,44 +100,17 @@ func MedianSigma(points *matrix.Dense, sampleSize int, seed int64) float64 {
 
 // Gram computes the full N x N similarity matrix with zero diagonal,
 // matching the paper's reducer (Algorithm 2 sets S[i,i] = 0, the
-// standard spectral-clustering convention of Ng et al.). Rows are
-// computed in parallel.
-func Gram(points *matrix.Dense, k Func) *matrix.Dense {
+// standard spectral-clustering convention of Ng et al.). Recognized
+// kernels take the blocked fast path; all kernels are computed in
+// parallel over row blocks for large N, with the symmetric mirror
+// folded into the workers.
+func Gram(points *matrix.Dense, k Kernel) *matrix.Dense {
 	n := points.Rows()
 	s := matrix.NewDense(n, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if n == 0 {
+		return s
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				xi := points.Row(i)
-				row := s.Row(i)
-				for j := i + 1; j < n; j++ {
-					row[j] = k(xi, points.Row(j))
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	// Mirror the upper triangle.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			s.Set(j, i, s.At(i, j))
-		}
-	}
+	gramInto(s, points, nil, k, defaultWorkers())
 	return s
 }
 
@@ -142,29 +119,39 @@ func Gram(points *matrix.Dense, k Func) *matrix.Dense {
 // the zero-diagonal Gram; kernel machines like SVM and kernel PCA need
 // the true diagonal (SMO's curvature term 2K(i,j)-K(i,i)-K(j,j) is
 // never negative without it).
-func GramWithDiagonal(points *matrix.Dense, k Func) *matrix.Dense {
+func GramWithDiagonal(points *matrix.Dense, k Kernel) *matrix.Dense {
 	s := Gram(points, k)
 	for i := 0; i < points.Rows(); i++ {
-		s.Set(i, i, k(points.Row(i), points.Row(i)))
+		s.Set(i, i, k.Eval(points.Row(i), points.Row(i)))
 	}
 	return s
 }
 
 // SubGram computes the similarity matrix restricted to the points whose
 // dataset rows are listed in indices — one DASC bucket's portion of the
-// approximated Gram matrix.
-func SubGram(points *matrix.Dense, indices []int, k Func) *matrix.Dense {
+// approximated Gram matrix. Large buckets are computed in parallel over
+// row blocks; recognized kernels additionally take the blocked fast
+// path over rows gathered into contiguous scratch.
+func SubGram(points *matrix.Dense, indices []int, k Kernel) *matrix.Dense {
 	n := len(indices)
 	s := matrix.NewDense(n, n)
-	for a := 0; a < n; a++ {
-		xa := points.Row(indices[a])
-		for b := a + 1; b < n; b++ {
-			v := k(xa, points.Row(indices[b]))
-			s.Set(a, b, v)
-			s.Set(b, a, v)
-		}
-	}
+	SubGramInto(s, points, indices, k)
 	return s
+}
+
+// SubGramInto computes the sub-Gram of the listed rows into s, which
+// must be len(indices) x len(indices). Every entry of s is overwritten
+// (diagonal included), so callers can hand in pooled, dirty buffers —
+// the per-bucket solve path reuses one backing slice across buckets.
+func SubGramInto(s *matrix.Dense, points *matrix.Dense, indices []int, k Kernel) {
+	n := len(indices)
+	if s.Rows() != n || s.Cols() != n {
+		matrix.Panicf("kernel: SubGramInto %dx%d for %d indices", s.Rows(), s.Cols(), n)
+	}
+	if n == 0 {
+		return
+	}
+	gramInto(s, points, indices, k, defaultWorkers())
 }
 
 // ErrIndexRange reports a bucket index outside the dataset.
@@ -175,7 +162,7 @@ var ErrIndexRange = errors.New("kernel: bucket index out of range")
 // computed only within buckets and cross-bucket entries stay zero. It
 // exists for the Frobenius-norm comparison of Figure 5; the production
 // DASC path never materializes it.
-func ApproxGram(points *matrix.Dense, buckets [][]int, k Func) (*matrix.Dense, error) {
+func ApproxGram(points *matrix.Dense, buckets [][]int, k Kernel) (*matrix.Dense, error) {
 	n := points.Rows()
 	s := matrix.NewDense(n, n)
 	for _, idxs := range buckets {
@@ -184,12 +171,13 @@ func ApproxGram(points *matrix.Dense, buckets [][]int, k Func) (*matrix.Dense, e
 				return nil, fmt.Errorf("%w: %d with N=%d", ErrIndexRange, i, n)
 			}
 		}
-		for a := 0; a < len(idxs); a++ {
-			xa := points.Row(idxs[a])
+		sub := SubGram(points, idxs, k)
+		for a, ia := range idxs {
+			row := sub.Row(a)
 			for b := a + 1; b < len(idxs); b++ {
-				v := k(xa, points.Row(idxs[b]))
-				s.Set(idxs[a], idxs[b], v)
-				s.Set(idxs[b], idxs[a], v)
+				v := row[b]
+				s.Set(ia, idxs[b], v)
+				s.Set(idxs[b], ia, v)
 			}
 		}
 	}

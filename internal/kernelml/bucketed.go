@@ -3,6 +3,10 @@ package kernelml
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/lsh"
@@ -14,47 +18,144 @@ import (
 // the LSH front-end shrinks the Gram matrix to per-bucket blocks and
 // the kernel algorithm runs independently per bucket. It demonstrates
 // the paper's claim that the approximation is algorithm-independent.
+//
+// Buckets are independent, so KMeans and PCA solve them on a worker
+// pool with LPT scheduling (largest bucket first — solve cost grows
+// like Ni^2 and beyond); global label offsets are prefix-summed up
+// front so the parallel result is identical to sequential execution.
+// Each worker reuses one sub-Gram scratch buffer across its buckets.
+
+// runBuckets executes solve(bi, scratch) for every bucket index on a
+// pool of GOMAXPROCS workers in LPT order. Each worker owns a scratch
+// buffer passed through to its solves. The first error (by bucket
+// index) is returned; the context is checked before every solve.
+func runBuckets(ctx context.Context, part *lsh.Partition, solve func(bi int, scratch *[]float64) error) error {
+	order := make([]int, len(part.Buckets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(part.Buckets[order[a]].Indices) > len(part.Buckets[order[b]].Indices)
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(part.Buckets))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []float64
+			for {
+				oi := int(cursor.Add(1)) - 1
+				if oi >= len(order) {
+					return
+				}
+				bi := order[oi]
+				if err := ctx.Err(); err != nil {
+					errs[bi] = err
+					return
+				}
+				errs[bi] = solve(bi, &scratch)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subGramInto builds the bucket's sub-Gram inside *scratch (grown as
+// needed) and optionally completes the diagonal with the true
+// self-similarities k(x,x) that SVM and kernel PCA require.
+func subGramInto(points *matrix.Dense, indices []int, kf kernel.Kernel, scratch *[]float64, withDiagonal bool) (*matrix.Dense, error) {
+	ni := len(indices)
+	if cap(*scratch) < ni*ni {
+		*scratch = make([]float64, ni*ni)
+	}
+	sub, err := matrix.NewDenseData(ni, ni, (*scratch)[:ni*ni])
+	if err != nil {
+		return nil, err
+	}
+	kernel.SubGramInto(sub, points, indices, kf)
+	if withDiagonal {
+		for i, idx := range indices {
+			sub.Set(i, i, kf.Eval(points.Row(idx), points.Row(idx)))
+		}
+	}
+	return sub, nil
+}
 
 // BucketedKernelKMeans runs kernel k-means inside every bucket of the
 // partition, allocating the global cluster budget k proportionally.
 // Returned labels are globally unique across buckets.
-func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int, seed int64) ([]int, int, error) {
+func BucketedKernelKMeans(points *matrix.Dense, part *lsh.Partition, kf kernel.Kernel, k int, seed int64) ([]int, int, error) {
 	return BucketedKernelKMeansContext(context.Background(), points, part, kf, k, seed)
 }
 
 // BucketedKernelKMeansContext is BucketedKernelKMeans with
 // cancellation: the context is checked before each bucket solve.
-func BucketedKernelKMeansContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int, seed int64) ([]int, int, error) {
+func BucketedKernelKMeansContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Kernel, k int, seed int64) ([]int, int, error) {
 	n := points.Rows()
 	if k < 1 || k > n {
 		return nil, 0, fmt.Errorf("kernelml: K=%d with %d points", k, n)
 	}
-	labels := make([]int, n)
-	offset := 0
-	for _, b := range part.Buckets {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, fmt.Errorf("kernelml: kmeans: %w", err)
-		}
+	// Per-bucket cluster counts and their prefix-sum offsets, computed
+	// up front so every bucket's global label range is known before the
+	// parallel solves and the output matches sequential execution.
+	counts := make([]int, len(part.Buckets))
+	offsets := make([]int, len(part.Buckets))
+	total := 0
+	for bi, b := range part.Buckets {
 		ni := len(b.Indices)
 		ki := proportionalK(k, ni, n)
 		if ki >= ni {
-			for pos, idx := range b.Indices {
-				labels[idx] = offset + pos
-			}
-			offset += ni
-			continue
+			ki = ni
 		}
-		sub := kernel.SubGram(points, b.Indices, kf)
-		res, err := KernelKMeans(sub, KernelKMeansConfig{K: ki, Seed: seed + int64(b.Signature)})
+		offsets[bi] = total
+		counts[bi] = ki
+		total += ki
+	}
+	labels := make([]int, n)
+	err := runBuckets(ctx, part, func(bi int, scratch *[]float64) error {
+		b := part.Buckets[bi]
+		ni := len(b.Indices)
+		if counts[bi] >= ni {
+			for pos, idx := range b.Indices {
+				labels[idx] = offsets[bi] + pos
+			}
+			return nil
+		}
+		sub, err := subGramInto(points, b.Indices, kf, scratch, false)
 		if err != nil {
-			return nil, 0, fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
+			return err
+		}
+		res, err := KernelKMeans(sub, KernelKMeansConfig{K: counts[bi], Seed: seed + int64(b.Signature)})
+		if err != nil {
+			return fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
 		}
 		for pos, idx := range b.Indices {
-			labels[idx] = offset + res.Labels[pos]
+			labels[idx] = offsets[bi] + res.Labels[pos]
 		}
-		offset += ki
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("kernelml: kmeans: %w", err)
 	}
-	return labels, offset, nil
+	return labels, total, nil
 }
 
 // BucketedKernelPCA computes k kernel principal components inside every
@@ -62,35 +163,37 @@ func BucketedKernelKMeansContext(ctx context.Context, points *matrix.Dense, part
 // bucket stay zero, which cannot happen for a partition that covers the
 // dataset). Component axes are per-bucket, as the Gram approximation
 // has no cross-bucket similarities by construction.
-func BucketedKernelPCA(points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int) (*matrix.Dense, error) {
+func BucketedKernelPCA(points *matrix.Dense, part *lsh.Partition, kf kernel.Kernel, k int) (*matrix.Dense, error) {
 	return BucketedKernelPCAContext(context.Background(), points, part, kf, k)
 }
 
 // BucketedKernelPCAContext is BucketedKernelPCA with cancellation: the
 // context is checked before each bucket decomposition.
-func BucketedKernelPCAContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Func, k int) (*matrix.Dense, error) {
+func BucketedKernelPCAContext(ctx context.Context, points *matrix.Dense, part *lsh.Partition, kf kernel.Kernel, k int) (*matrix.Dense, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("kernelml: k=%d", k)
 	}
 	out := matrix.NewDense(points.Rows(), k)
-	for _, b := range part.Buckets {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("kernelml: pca: %w", err)
-		}
+	err := runBuckets(ctx, part, func(bi int, scratch *[]float64) error {
+		b := part.Buckets[bi]
 		if len(b.Indices) == 1 {
-			continue // a singleton has no variance to decompose
+			return nil // a singleton has no variance to decompose
 		}
-		sub := kernel.SubGram(points, b.Indices, kf)
-		for i := range b.Indices {
-			sub.Set(i, i, kf(points.Row(b.Indices[i]), points.Row(b.Indices[i])))
+		sub, err := subGramInto(points, b.Indices, kf, scratch, true)
+		if err != nil {
+			return err
 		}
 		res, err := KernelPCA(sub, k)
 		if err != nil {
-			return nil, fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
+			return fmt.Errorf("kernelml: bucket %x: %w", b.Signature, err)
 		}
 		for pos, idx := range b.Indices {
 			copy(out.Row(idx), res.Projections.Row(pos))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernelml: pca: %w", err)
 	}
 	return out, nil
 }
@@ -103,7 +206,7 @@ func BucketedKernelPCAContext(ctx context.Context, points *matrix.Dense, part *l
 type BucketedSVM struct {
 	family lsh.Family
 	points *matrix.Dense
-	kf     kernel.Func
+	kf     kernel.Kernel
 	models map[uint64]*bucketModel
 	// Fallback handles signatures never seen in training: the model of
 	// the nearest training signature by Hamming distance.
@@ -118,13 +221,15 @@ type bucketModel struct {
 // TrainBucketedSVM trains the per-bucket ensemble. y must be -1/+1 per
 // training point. Buckets whose labels are single-class get a trivial
 // constant model (SVM with no support vectors and bias = the class).
-func TrainBucketedSVM(points *matrix.Dense, y []int, family lsh.Family, kf kernel.Func, cfg SVMConfig) (*BucketedSVM, error) {
+func TrainBucketedSVM(points *matrix.Dense, y []int, family lsh.Family, kf kernel.Kernel, cfg SVMConfig) (*BucketedSVM, error) {
 	return TrainBucketedSVMContext(context.Background(), points, y, family, kf, cfg)
 }
 
 // TrainBucketedSVMContext is TrainBucketedSVM with cancellation: the
-// context is checked before each bucket's SVM training.
-func TrainBucketedSVMContext(ctx context.Context, points *matrix.Dense, y []int, family lsh.Family, kf kernel.Func, cfg SVMConfig) (*BucketedSVM, error) {
+// context is checked before each bucket's SVM training. Training stays
+// sequential — the ensemble's signature list is order-dependent — but
+// one sub-Gram scratch buffer is reused across all buckets.
+func TrainBucketedSVMContext(ctx context.Context, points *matrix.Dense, y []int, family lsh.Family, kf kernel.Kernel, cfg SVMConfig) (*BucketedSVM, error) {
 	n := points.Rows()
 	if len(y) != n {
 		return nil, fmt.Errorf("kernelml: %d labels for %d points", len(y), n)
@@ -136,6 +241,7 @@ func TrainBucketedSVMContext(ctx context.Context, points *matrix.Dense, y []int,
 		kf:     kf,
 		models: make(map[uint64]*bucketModel, len(part.Buckets)),
 	}
+	var scratch []float64
 	for _, b := range part.Buckets {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("kernelml: svm: %w", err)
@@ -163,9 +269,9 @@ func TrainBucketedSVMContext(ctx context.Context, points *matrix.Dense, y []int,
 			}
 			continue
 		}
-		sub := kernel.SubGram(points, b.Indices, kf)
-		for i := range b.Indices {
-			sub.Set(i, i, kf(points.Row(b.Indices[i]), points.Row(b.Indices[i])))
+		sub, err := subGramInto(points, b.Indices, kf, &scratch, true)
+		if err != nil {
+			return nil, err
 		}
 		svm, err := TrainSVM(sub, subY, cfg)
 		if err != nil {
@@ -193,7 +299,7 @@ func (e *BucketedSVM) Predict(x []float64) int {
 	// Decision over the bucket's own training subset.
 	s := m.svm.B
 	for i, a := range m.svm.Alpha {
-		s += a * float64(m.svm.Labels[i]) * e.kf(e.points.Row(m.indices[i]), x)
+		s += a * float64(m.svm.Labels[i]) * e.kf.Eval(e.points.Row(m.indices[i]), x)
 	}
 	if s >= 0 {
 		return 1

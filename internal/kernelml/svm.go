@@ -160,16 +160,16 @@ func TrainSVM(gram *matrix.Dense, y []int, cfg SVMConfig) (*SVM, error) {
 // Decision evaluates the decision function for a new point, given the
 // training points and the kernel (only support vectors are touched —
 // the paper's §2 point that SVM testing is cheap compared to training).
-func (m *SVM) Decision(train *matrix.Dense, k kernel.Func, x []float64) float64 {
+func (m *SVM) Decision(train *matrix.Dense, k kernel.Kernel, x []float64) float64 {
 	s := m.B
 	for i, a := range m.Alpha {
-		s += a * float64(m.Labels[i]) * k(train.Row(i), x)
+		s += a * float64(m.Labels[i]) * k.Eval(train.Row(i), x)
 	}
 	return s
 }
 
 // Predict returns the +-1 class for x.
-func (m *SVM) Predict(train *matrix.Dense, k kernel.Func, x []float64) int {
+func (m *SVM) Predict(train *matrix.Dense, k kernel.Kernel, x []float64) int {
 	if m.Decision(train, k, x) >= 0 {
 		return 1
 	}

@@ -171,9 +171,10 @@ func dimensionSpans(points *matrix.Dense) (mins, maxs, spans []float64) {
 		for i := 0; i < n; i++ {
 			col[i] = points.At(i, j)
 		}
-		sort.Float64s(col)
-		lo := col[int(0.05*float64(n-1))]
-		hi := col[int(math.Ceil(0.95*float64(n-1)))]
+		// Two order statistics, not a full per-column sort: SelectKth
+		// returns exactly the value sorting would place at that index.
+		lo := matrix.SelectKth(col, int(0.05*float64(n-1)))
+		hi := matrix.SelectKth(col, int(math.Ceil(0.95*float64(n-1))))
 		spans[j] = (hi - lo) + 1e-6*full
 	}
 	return mins, maxs, spans
@@ -288,8 +289,7 @@ func valleyThreshold(points *matrix.Dense, dim int, min, max, span float64, binC
 	for i := 0; i < n; i++ {
 		vals[i] = points.At(i, dim)
 	}
-	sort.Float64s(vals)
-	return vals[n/2]
+	return matrix.SelectKth(vals, n/2)
 }
 
 // Signature hashes one point. Bit i is set when x[dims[i]] > thresholds[i].

@@ -1,0 +1,118 @@
+package matrix
+
+// This file holds the cache-blocked micro-kernels under the vectorized
+// Gram engine (internal/kernel): precomputed row norms, a 4-wide
+// unrolled dot product, contiguous row gathering, and a blocked
+// pairwise-dot routine. They exist so the kernel fast paths can turn
+// every pairwise distance into ‖x‖² + ‖y‖² − 2·x·y over contiguous
+// scratch, instead of a closure call plus a subtract-square loop per
+// pair.
+
+// SqNorms returns the squared Euclidean norm of every row of m —
+// the precomputed ‖x‖² terms of the blocked pairwise-distance
+// factorization. Unlike Norm2 it does not rescale against overflow:
+// the Gram engine feeds values in data ranges (similarity inputs,
+// tf-idf weights) where the plain sum of squares is exact enough and
+// several times faster.
+func SqNorms(m *Dense) []float64 {
+	out := make([]float64, m.rows)
+	return SqNormsInto(out, m)
+}
+
+// SqNormsInto writes the squared row norms of m into dst, which must
+// have length m.Rows(), and returns dst. It is the allocation-free form
+// of SqNorms for pooled scratch.
+func SqNormsInto(dst []float64, m *Dense) []float64 {
+	if len(dst) != m.rows {
+		Panicf("matrix: SqNormsInto dst length %d for %d rows", len(dst), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Dot4(m.Row(i), m.Row(i))
+	}
+	return dst
+}
+
+// GatherRows copies the listed rows of m into dst as a contiguous
+// row-major block of len(indices) rows, growing dst if needed, and
+// returns the (re)sliced buffer. Row indices are bounds-checked by Row.
+// Gathering a bucket's rows once turns the per-pair strided accesses of
+// a sub-Gram computation into sequential scans of one compact block.
+func GatherRows(dst []float64, m *Dense, indices []int) []float64 {
+	d := m.cols
+	need := len(indices) * d
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	for k, idx := range indices {
+		copy(dst[k*d:(k+1)*d], m.Row(idx))
+	}
+	return dst
+}
+
+// Dot4 returns the inner product of x and y accumulated in four
+// parallel lanes (4-wide unrolled). The summation order differs from
+// Dot, so results may differ from it in the last bits; hot paths that
+// tolerate that (the Gram engine, Lanczos matrix-vector products) use
+// Dot4, exact-reproduction paths keep Dot. It panics if the lengths
+// differ.
+func Dot4(x, y []float64) float64 {
+	checkLen("dot4", x, y)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		y0, y1, y2, y3 := y[i], y[i+1], y[i+2], y[i+3]
+		s0 += x0 * y0
+		s1 += x1 * y1
+		s2 += x2 * y2
+		s3 += x3 * y3
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// DotBlock computes the pairwise dot products between the rows of two
+// contiguous row-major blocks a (ra x d) and b (rb x d), writing
+// out[i*rb+j] = a_i · b_j. It is the innermost routine of the blocked
+// symmetric Gram engine: both blocks are small enough to stay
+// cache-resident while every cross pair is formed. out must have length
+// ra*rb.
+func DotBlock(a []float64, ra int, b []float64, rb, d int, out []float64) {
+	if len(a) != ra*d || len(b) != rb*d {
+		Panicf("matrix: DotBlock shapes %d=%dx%d %d=%dx%d", len(a), ra, d, len(b), rb, d)
+	}
+	if len(out) != ra*rb {
+		Panicf("matrix: DotBlock out length %d, want %d", len(out), ra*rb)
+	}
+	for i := 0; i < ra; i++ {
+		arow := a[i*d : (i+1)*d]
+		orow := out[i*rb : (i+1)*rb]
+		// 1x4 micro-tile: four b-rows per pass, so every element of
+		// arow is loaded once per four products and the four
+		// accumulation chains run in parallel.
+		j := 0
+		for ; j+4 <= rb; j += 4 {
+			b0 := b[(j+0)*d : (j+1)*d][:len(arow)]
+			b1 := b[(j+1)*d : (j+2)*d][:len(arow)]
+			b2 := b[(j+2)*d : (j+3)*d][:len(arow)]
+			b3 := b[(j+3)*d : (j+4)*d][:len(arow)]
+			var s0, s1, s2, s3 float64
+			for t, av := range arow {
+				s0 += av * b0[t]
+				s1 += av * b1[t]
+				s2 += av * b2[t]
+				s3 += av * b3[t]
+			}
+			orow[j] = s0
+			orow[j+1] = s1
+			orow[j+2] = s2
+			orow[j+3] = s3
+		}
+		for ; j < rb; j++ {
+			orow[j] = Dot4(arow, b[j*d:(j+1)*d])
+		}
+	}
+}

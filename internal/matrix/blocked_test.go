@@ -1,0 +1,117 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDenseSeed(rows, cols int, seed int64) *Dense {
+	return randomDense(rand.New(rand.NewSource(seed)), rows, cols)
+}
+
+func TestSqNorms(t *testing.T) {
+	m := randomDenseSeed(17, 9, 1)
+	sq := SqNorms(m)
+	for i := 0; i < m.Rows(); i++ {
+		want := Dot(m.Row(i), m.Row(i))
+		if math.Abs(sq[i]-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("sq[%d] = %v, want %v", i, sq[i], want)
+		}
+	}
+	dst := make([]float64, m.Rows())
+	if &SqNormsInto(dst, m)[0] != &dst[0] {
+		t.Fatal("SqNormsInto must write into dst")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	SqNormsInto(make([]float64, 3), m)
+}
+
+func TestDot4MatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 64, 65} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		got, want := Dot4(x, y), Dot(x, y)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: Dot4 = %v, Dot = %v", n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	Dot4([]float64{1}, []float64{1, 2})
+}
+
+func TestGatherRows(t *testing.T) {
+	m := randomDenseSeed(10, 4, 3)
+	idxs := []int{7, 0, 3, 3}
+	buf := GatherRows(nil, m, idxs)
+	if len(buf) != len(idxs)*m.Cols() {
+		t.Fatalf("gathered length %d", len(buf))
+	}
+	for k, idx := range idxs {
+		for j := 0; j < m.Cols(); j++ {
+			if !ApproxEqual(buf[k*m.Cols()+j], m.At(idx, j), 0) {
+				t.Fatalf("row %d col %d mismatch", k, j)
+			}
+		}
+	}
+	// A large enough buffer is reused, not reallocated.
+	big := make([]float64, 100)
+	out := GatherRows(big, m, idxs)
+	if &out[0] != &big[0] {
+		t.Fatal("GatherRows must reuse a sufficient buffer")
+	}
+	if len(GatherRows(nil, m, nil)) != 0 {
+		t.Fatal("empty gather must be empty")
+	}
+}
+
+func TestDotBlock(t *testing.T) {
+	a := randomDenseSeed(5, 7, 4)
+	b := randomDenseSeed(3, 7, 5)
+	out := make([]float64, 5*3)
+	DotBlock(a.Data(), 5, b.Data(), 3, 7, out)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			want := Dot(a.Row(i), b.Row(j))
+			if math.Abs(out[i*3+j]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("out[%d,%d] = %v, want %v", i, j, out[i*3+j], want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad out length")
+		}
+	}()
+	DotBlock(a.Data(), 5, b.Data(), 3, 7, make([]float64, 2))
+}
+
+func TestScaleSymInPlaceMatchesScaleSym(t *testing.T) {
+	s := randomDenseSeed(6, 6, 6)
+	d := NewDiagonal([]float64{1, 2, 0.5, 3, 0.25, 1.5})
+	want, err := d.ScaleSym(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ScaleSymInPlace(s); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s, want, 0) {
+		t.Fatal("in-place scale differs from ScaleSym")
+	}
+	if err := d.ScaleSymInPlace(NewDense(2, 2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

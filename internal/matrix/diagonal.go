@@ -71,6 +71,24 @@ func (dg *Diagonal) ScaleSym(s *Dense) (*Dense, error) {
 	return out, nil
 }
 
+// ScaleSymInPlace computes D * S * D overwriting S, where D is the
+// receiver — the allocation-free form of ScaleSym for callers (the
+// per-bucket solve path) that no longer need S afterwards.
+func (dg *Diagonal) ScaleSymInPlace(s *Dense) error {
+	n := len(dg.d)
+	if s.Rows() != n || s.Cols() != n {
+		return fmt.Errorf("%w: diag(%d) scale %dx%d", ErrShape, n, s.Rows(), s.Cols())
+	}
+	for i := 0; i < n; i++ {
+		di := dg.d[i]
+		row := s.Row(i)
+		for j := range row {
+			row[j] *= di * dg.d[j]
+		}
+	}
+	return nil
+}
+
 // Dense materializes the diagonal as a dense matrix (mainly for tests).
 func (dg *Diagonal) Dense() *Dense {
 	n := len(dg.d)

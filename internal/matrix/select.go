@@ -1,0 +1,60 @@
+package matrix
+
+// SelectKth returns the k-th smallest element of x (0-based) by
+// in-place Hoare quickselect with median-of-three pivoting. It returns
+// exactly the value sorting would place at index k — the LSH span
+// percentiles and the median-bandwidth heuristic need two order
+// statistics per column, not a full O(n log n) sort. x is reordered.
+// It panics if x is empty or k is out of range.
+func SelectKth(x []float64, k int) float64 {
+	if k < 0 || k >= len(x) {
+		Panicf("matrix: SelectKth k=%d with %d elements", k, len(x))
+	}
+	lo, hi := 0, len(x)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			// Insertion sort on small ranges beats further partitioning.
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && x[j] < x[j-1]; j-- {
+					x[j], x[j-1] = x[j-1], x[j]
+				}
+			}
+			return x[k]
+		}
+		// Median-of-three pivot, moved to x[lo].
+		mid := lo + (hi-lo)/2
+		if x[mid] < x[lo] {
+			x[mid], x[lo] = x[lo], x[mid]
+		}
+		if x[hi] < x[lo] {
+			x[hi], x[lo] = x[lo], x[hi]
+		}
+		if x[hi] < x[mid] {
+			x[hi], x[mid] = x[mid], x[hi]
+		}
+		pivot := x[mid]
+		i, j := lo, hi
+		for i <= j {
+			for x[i] < pivot {
+				i++
+			}
+			for x[j] > pivot {
+				j--
+			}
+			if i <= j {
+				x[i], x[j] = x[j], x[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return x[k]
+		}
+	}
+	return x[k]
+}

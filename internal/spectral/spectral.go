@@ -41,8 +41,22 @@ type Result struct {
 // ErrBadInput reports an unusable similarity matrix or configuration.
 var ErrBadInput = errors.New("spectral: bad input")
 
-// Cluster runs spectral clustering on the similarity matrix s.
+// Cluster runs spectral clustering on the similarity matrix s, which is
+// left untouched.
 func Cluster(s *matrix.Dense, cfg Config) (*Result, error) {
+	return cluster(s, cfg, false)
+}
+
+// ClusterInPlace is Cluster for callers that own s and do not need it
+// afterwards: the normalized Laplacian overwrites s instead of being
+// materialized in a fresh n x n allocation. The per-bucket DASC solve
+// uses it with pooled sub-Gram buffers, halving the large transient
+// allocations of the solve stage.
+func ClusterInPlace(s *matrix.Dense, cfg Config) (*Result, error) {
+	return cluster(s, cfg, true)
+}
+
+func cluster(s *matrix.Dense, cfg Config, inPlace bool) (*Result, error) {
 	n := s.Rows()
 	if s.Cols() != n {
 		return nil, fmt.Errorf("%w: similarity matrix %dx%d not square", ErrBadInput, n, s.Cols())
@@ -66,9 +80,21 @@ func Cluster(s *matrix.Dense, cfg Config) (*Result, error) {
 		return &Result{Labels: labels, Eigenvalues: make([]float64, k), Embedding: matrix.NewDense(n, k)}, nil
 	}
 
-	lap, err := Laplacian(s)
-	if err != nil {
-		return nil, err
+	lap := s
+	if inPlace {
+		deg, err := matrix.RowSums(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		if err := deg.InvSqrt().ScaleSymInPlace(s); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	} else {
+		var err error
+		lap, err = Laplacian(s)
+		if err != nil {
+			return nil, err
+		}
 	}
 	vals, vecs, err := linalg.TopKEigenSym(lap, k)
 	if err != nil {
