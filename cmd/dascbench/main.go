@@ -1,7 +1,10 @@
 // Command dascbench is the repository's JSON benchmark harness: it
 // times the hot paths of the DASC pipeline (blocked Gram engine,
 // sub-Gram, median-sigma, the end-to-end clusterer and the SC baseline)
-// with fixed iteration counts and stdlib timing, and writes the results
+// and of the MapReduce data plane (merge shuffle vs concat+sort, the
+// binary frame codec, and a shuffle-heavy TCP job under the pipelined
+// and lock-step wire configurations) with fixed iteration counts and
+// stdlib timing, and writes the results
 // to BENCH_<n>.json, where <n> is the next free index in the output
 // directory. Unlike `go test -bench`, the output is machine-readable
 // and append-only across runs, so successive PRs leave a comparable
@@ -165,6 +168,10 @@ func run() error {
 		last := &rep.Results[len(rep.Results)-1]
 		last.Acc = scAcc
 		last.GramFrac = 1
+	}
+
+	if err := benchDataPlane(add, *quick); err != nil {
+		return err
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kmeans"
 	"repro/internal/lsh"
+	"repro/internal/mapreduce"
 	"repro/internal/matrix"
 	"repro/internal/spectral"
 )
@@ -102,6 +103,11 @@ type Result struct {
 	MergeRadius int
 	// Elapsed is the measured wall-clock time.
 	Elapsed time.Duration
+	// MapReduce aggregates the executor's counters across both
+	// MapReduce stages (task/record totals, shuffle size, and — for the
+	// TCP executor — wire traffic and codec time). Nil for runners that
+	// do not execute through a mapreduce.Executor.
+	MapReduce *mapreduce.Counters
 }
 
 // ErrBadConfig reports unusable configuration.

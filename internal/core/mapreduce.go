@@ -44,10 +44,15 @@ func ClusterMapReduceContext(ctx context.Context, points *matrix.Dense, cfg Conf
 type mapReduceRunner struct {
 	exec   mapreduce.Executor
 	prefix string
+	ctr    mapreduce.Counters
 }
 
 func (*mapReduceRunner) Name() string      { return "mapreduce" }
 func (*mapReduceRunner) NeedsHasher() bool { return true }
+
+// MapReduceCounters reports the counters accumulated across both
+// stages; RunPipeline copies them onto the Result.
+func (r *mapReduceRunner) MapReduceCounters() *mapreduce.Counters { return &r.ctr }
 
 func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
 	n := p.Points.Rows()
@@ -56,10 +61,11 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, er
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
 	}
-	sigPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
+	sigPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
 	if err != nil {
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
+	r.ctr.Add(ctr)
 	return signaturesFromPairs(sigPairs, n)
 }
 
@@ -72,10 +78,11 @@ func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partitio
 			Value: encodeIndices(b.Indices),
 		}
 	}
-	labelPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2Input)
+	labelPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2Input)
 	if err != nil {
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
+	r.ctr.Add(ctr)
 	return solutionsFromLabelPairs(part, labelPairs, p.Points.Rows())
 }
 

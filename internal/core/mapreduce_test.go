@@ -94,6 +94,17 @@ func TestClusterMapReduceOverTCP(t *testing.T) {
 	if acc < 0.9 {
 		t.Fatalf("TCP accuracy = %v", acc)
 	}
+	// The driver aggregates executor counters from both stages onto the
+	// result; over TCP that includes real wire traffic.
+	if res.MapReduce == nil {
+		t.Fatal("Result.MapReduce not populated by the MapReduce driver")
+	}
+	if res.MapReduce.MapTasks == 0 || res.MapReduce.ReduceTasks == 0 {
+		t.Fatalf("stage counters not aggregated: %+v", res.MapReduce)
+	}
+	if res.MapReduce.WireBytesOut <= 0 || res.MapReduce.WireBytesIn <= 0 {
+		t.Fatalf("TCP wire counters not aggregated: %+v", res.MapReduce)
+	}
 	m.Close()
 	wg.Wait()
 }

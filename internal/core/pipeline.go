@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/lsh"
+	"repro/internal/mapreduce"
 	"repro/internal/matrix"
 )
 
@@ -145,7 +146,16 @@ func RunPipeline(ctx context.Context, points *matrix.Dense, cfg Config, r Runner
 	res.SignatureBits = p.Cfg.M
 	res.MergeRadius = p.Radius
 	res.Elapsed = time.Since(start)
+	if cs, ok := r.(counterSource); ok {
+		res.MapReduce = cs.MapReduceCounters()
+	}
 	return res, nil
+}
+
+// counterSource is implemented by runners that execute through a
+// mapreduce.Executor and can report the aggregated job counters.
+type counterSource interface {
+	MapReduceCounters() *mapreduce.Counters
 }
 
 // assembleSolutions is the single label-assembly path: cluster-id

@@ -232,10 +232,15 @@ func ClusterMapReduceShippedContext(ctx context.Context, points *matrix.Dense, c
 // never through closures.
 type shippedRunner struct {
 	exec mapreduce.Executor
+	ctr  mapreduce.Counters
 }
 
 func (*shippedRunner) Name() string      { return "mapreduce-shipped" }
 func (*shippedRunner) NeedsHasher() bool { return true }
+
+// MapReduceCounters reports the counters accumulated across both
+// stages; RunPipeline copies them onto the Result.
+func (r *shippedRunner) MapReduceCounters() *mapreduce.Counters { return &r.ctr }
 
 func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
 	n := p.Points.Rows()
@@ -253,10 +258,11 @@ func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, erro
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(p.Points.Row(i))}
 	}
-	sigPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
+	sigPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, lshJob, input)
 	if err != nil {
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
+	r.ctr.Add(ctr)
 	return signaturesFromPairs(sigPairs, n)
 }
 
@@ -290,9 +296,10 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 		}
 		stage2[bi] = mapreduce.Pair{Key: fmt.Sprintf("%016x", b.Signature), Value: blob}
 	}
-	labelPairs, _, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2)
+	labelPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2)
 	if err != nil {
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
+	r.ctr.Add(ctr)
 	return solutionsFromLabelPairs(part, labelPairs, n)
 }

@@ -219,9 +219,10 @@ func TestRunWorkerContextCancel(t *testing.T) {
 	waitNoGoroutineLeak(t, before)
 }
 
-// TestTCPHungWorkerHitsIOTimeout joins a raw socket that accepts tasks
-// but never answers: the per-exchange IOTimeout must fire and, with no
-// other workers alive, fail the job instead of hanging forever.
+// TestTCPHungWorkerHitsIOTimeout joins a worker that completes the
+// hello but then accepts tasks without ever answering: the in-flight
+// IOTimeout must fire and, with no other workers alive, fail the job
+// instead of hanging forever.
 func TestTCPHungWorkerHitsIOTimeout(t *testing.T) {
 	job := &Job{
 		Name:   "hung-worker",
@@ -239,6 +240,9 @@ func TestTCPHungWorkerHitsIOTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = conn.Close() }()
+	if _, err := sendHello(conn, WireVersionLatest, time.Second, &wireStats{}); err != nil {
+		t.Fatal(err)
+	}
 
 	done := make(chan error, 1)
 	go func() {

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 )
@@ -33,8 +34,19 @@ func RegisterFactory(name string, factory JobFactory) {
 
 var factories sync.Map // string -> JobFactory
 
-// builtJobs caches worker-side jobs per (name, conf-hash).
-var builtJobs sync.Map // string -> *Job
+// builtEntry caches the most recent factory build for one job name.
+// Every task of a TCP phase carries the same Conf, so caching the last
+// build per name hits on the hot path without the old scheme's
+// per-task name+conf key-string allocation; a changed Conf (a new job
+// generation under the same name) simply rebuilds and replaces it.
+type builtEntry struct {
+	mu   sync.Mutex
+	conf []byte
+	job  *Job
+}
+
+// builtJobs caches worker-side jobs per name.
+var builtJobs sync.Map // string -> *builtEntry
 
 // resolveJob returns the runnable job for a task: a factory-built job
 // when Conf is present, otherwise the plain registry entry.
@@ -46,19 +58,26 @@ func resolveJob(name string, conf []byte) (*Job, error) {
 		}
 		return job, nil
 	}
-	key := name + "\x00" + string(conf)
-	if cached, ok := builtJobs.Load(key); ok {
-		return cached.(*Job), nil
+	v, loaded := builtJobs.Load(name)
+	if !loaded {
+		v, _ = builtJobs.LoadOrStore(name, &builtEntry{})
 	}
-	v, ok := factories.Load(name)
+	entry := v.(*builtEntry)
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if entry.job != nil && bytes.Equal(entry.conf, conf) {
+		return entry.job, nil
+	}
+	f, ok := factories.Load(name)
 	if !ok {
 		return nil, fmt.Errorf("job factory %q not registered on worker", name)
 	}
-	job, err := v.(JobFactory)(conf)
+	job, err := f.(JobFactory)(conf)
 	if err != nil {
 		return nil, fmt.Errorf("job factory %q: %w", name, err)
 	}
 	job.Name = name
-	builtJobs.Store(key, job)
+	entry.conf = append([]byte(nil), conf...)
+	entry.job = job
 	return job, nil
 }

@@ -79,12 +79,9 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 				}
 				local = combined
 			}
-			parts := make([][]Pair, numReducers)
-			for _, p := range local {
-				idx := job.partition(p.Key)
-				parts[idx] = append(parts[idx], p)
-			}
-			results[t].parts = parts
+			// Map-side sort: each partition leaves the task as a
+			// key-sorted run, so the shuffle below is a pure merge.
+			results[t].parts = partitionSorted(job, numReducers, local)
 		}(t)
 	}
 	wg.Wait()
@@ -98,17 +95,34 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 	}
 	ctr.MapOutputs = int(mapOutputs.Load())
 
-	// Shuffle: gather each reduce partition from all map tasks, in map
-	// task order for determinism, then sort by key.
+	// Shuffle: k-way merge each reduce partition's sorted runs, in map
+	// task order so ties reproduce the stable concat+sort order. The
+	// per-partition merges are independent and run on the worker pool.
 	partitions := make([][]Pair, numReducers)
-	for _, r := range results {
-		for p, pairs := range r.parts {
-			partitions[p] = append(partitions[p], pairs...)
-			for _, kv := range pairs {
-				ctr.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
+	var shuffleBytes atomic.Int64
+	for p := range partitions {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs := make([][]Pair, 0, len(results))
+			for _, r := range results {
+				if p < len(r.parts) && len(r.parts[p]) > 0 {
+					runs = append(runs, r.parts[p])
+				}
 			}
-		}
+			merged := MergeRuns(runs)
+			var bytes int64
+			for _, kv := range merged {
+				bytes += int64(len(kv.Key) + len(kv.Value))
+			}
+			shuffleBytes.Add(bytes)
+			partitions[p] = merged
+		}(p)
 	}
+	wg.Wait()
+	ctr.ShuffleBytes = shuffleBytes.Load()
 
 	// Reduce phase.
 	type reduceResult struct {
@@ -122,6 +136,9 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// The merge shuffle delivers the partition key-sorted; the
+			// sort call is the O(n) already-sorted fast path kept as a
+			// contract check against custom shuffles.
 			pairs := partitions[p]
 			sortPairs(pairs)
 			err := groupSorted(pairs, func(key string, values [][]byte) error {
@@ -134,7 +151,11 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 			})
 			if err != nil {
 				red[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
+				return
 			}
+			// Sort this partition's output inside the task so the final
+			// assembly is a pure merge.
+			sortPairs(red[p].out)
 		}(p)
 	}
 	wg.Wait()
@@ -142,14 +163,16 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
 	}
 
-	var out []Pair
+	outRuns := make([][]Pair, 0, len(red))
 	for _, r := range red {
 		if r.err != nil {
 			return nil, nil, r.err
 		}
-		out = append(out, r.out...)
+		if len(r.out) > 0 {
+			outRuns = append(outRuns, r.out)
+		}
 	}
-	sortPairs(out)
+	out := MergeRuns(outRuns)
 	ctr.OutputRecords = len(out)
 	return out, ctr, nil
 }

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 )
 
 // Pair is one key/value record. Values are opaque bytes; typed adapters
@@ -62,8 +61,40 @@ type Counters struct {
 	ReduceTasks   int
 	InputRecords  int
 	MapOutputs    int
+	// ShuffleBytes sizes the map output crossing the shuffle. The Local
+	// executor reports the key+value byte sum (no wire exists); the TCP
+	// executor reports the actual encoded bytes of the map-result frames
+	// received from workers, which is always at least the Local
+	// approximation (framing adds sequence numbers and length prefixes).
 	ShuffleBytes  int64
 	OutputRecords int
+	// WireBytesOut / WireBytesIn count every encoded byte the TCP
+	// master wrote to / read from worker sockets across both phases,
+	// including hellos and frame headers. Zero for the Local executor.
+	WireBytesOut int64
+	WireBytesIn  int64
+	// EncodeNanos / DecodeNanos are the master-side wall time spent
+	// inside the wire codec, for wire-vs-compute accounting.
+	EncodeNanos int64
+	DecodeNanos int64
+}
+
+// Add accumulates o into c field-wise, for drivers that chain several
+// jobs and want one aggregate (e.g. the DASC two-stage pipeline).
+func (c *Counters) Add(o *Counters) {
+	if o == nil {
+		return
+	}
+	c.MapTasks += o.MapTasks
+	c.ReduceTasks += o.ReduceTasks
+	c.InputRecords += o.InputRecords
+	c.MapOutputs += o.MapOutputs
+	c.ShuffleBytes += o.ShuffleBytes
+	c.OutputRecords += o.OutputRecords
+	c.WireBytesOut += o.WireBytesOut
+	c.WireBytesIn += o.WireBytesIn
+	c.EncodeNanos += o.EncodeNanos
+	c.DecodeNanos += o.DecodeNanos
 }
 
 // Executor runs jobs.
@@ -181,10 +212,20 @@ func groupSorted(pairs []Pair, fn func(key string, values [][]byte) error) error
 	return nil
 }
 
-// sortPairs orders pairs by key, keeping emission order within a key
-// (stable), which makes executor output deterministic.
-func sortPairs(pairs []Pair) {
-	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].Key < pairs[b].Key })
+// partitionSorted splits one map task's output into per-partition
+// key-sorted runs — the map-side sort of the merge shuffle, shared by
+// the Local executor and the TCP worker. Sorting here parallelizes
+// across map tasks and keeps the master's shuffle a pure merge.
+func partitionSorted(job *Job, numReducers int, local []Pair) [][]Pair {
+	parts := make([][]Pair, numReducers)
+	for _, p := range local {
+		idx := job.partition(p.Key)
+		parts[idx] = append(parts[idx], p)
+	}
+	for _, part := range parts {
+		sortPairs(part)
+	}
+	return parts
 }
 
 // runCombine applies a combiner to one split's map output.

@@ -1,0 +1,201 @@
+package mapreduce
+
+// The merge-based shuffle. Map tasks hand every reduce partition back
+// as a key-sorted run (sorted where the records are produced, so the
+// work parallelizes across map tasks and TCP workers), and the shuffle
+// k-way merges those runs per partition instead of concatenating
+// everything and re-sorting. Ties between runs break on run order —
+// map-task Seq, then emission index inside the run — which reproduces
+// the order of the old concat + stable-sort shuffle bit for bit: a
+// stable sort of a concatenation equals a tie-broken merge of the
+// stably-sorted parts. The same argument covers reduce-output
+// assembly, where the runs are per-partition reduce outputs and run
+// order is the partition index. See DESIGN.md "Merge shuffle".
+
+// pairsSorted reports whether pairs is already key-sorted, the common
+// case for combiner output and merged partitions.
+func pairsSorted(pairs []Pair) bool {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Key < pairs[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// sortPairs orders pairs by key, keeping emission order within a key
+// (stable), which makes executor output deterministic. It is a
+// hand-rolled merge sort specialized to []Pair: no reflection, no
+// interface calls, and an O(n) fast path for already-sorted input.
+func sortPairs(pairs []Pair) {
+	if pairsSorted(pairs) {
+		return
+	}
+	aux := make([]Pair, len(pairs)/2+1)
+	mergeSortPairs(pairs, aux)
+}
+
+// insertionRun is the cutoff below which insertion sort (also stable)
+// beats splitting further.
+const insertionRun = 24
+
+// mergeSortPairs recursively sorts a in place using aux (at least
+// len(a)/2+1 long) as the merge scratch.
+func mergeSortPairs(a, aux []Pair) {
+	n := len(a)
+	if n <= insertionRun {
+		insertionSortPairs(a)
+		return
+	}
+	mid := n / 2
+	mergeSortPairs(a[:mid], aux)
+	mergeSortPairs(a[mid:], aux)
+	if a[mid-1].Key <= a[mid].Key {
+		return // halves already in order
+	}
+	// Merge: copy the left half out, then weave it with the right half
+	// back into a. The write index never catches the right-half read
+	// index, so the in-place weave is safe; ties take the left element
+	// first, which keeps the sort stable.
+	left := aux[:mid]
+	copy(left, a[:mid])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[j].Key < left[i].Key {
+			a[k] = a[j]
+			j++
+		} else {
+			a[k] = left[i]
+			i++
+		}
+		k++
+	}
+	copy(a[k:], left[i:]) // any left remainder; right remainder is already in place
+}
+
+// insertionSortPairs is the stable small-slice base case.
+func insertionSortPairs(a []Pair) {
+	for i := 1; i < len(a); i++ {
+		p := a[i]
+		j := i - 1
+		for j >= 0 && a[j].Key > p.Key {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = p
+	}
+}
+
+// MergeRuns merges key-sorted runs into one key-sorted slice. Ties
+// between runs break on run index, then position within the run, so
+// the result is exactly a stable sort of the concatenation of the
+// runs in order — the shuffle's determinism contract. Runs that are
+// not individually sorted give an unspecified order; the executors
+// sort every run at the map side before merging.
+func MergeRuns(runs [][]Pair) []Pair {
+	total := 0
+	nonEmpty := 0
+	last := -1
+	for i, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, total)
+	switch nonEmpty {
+	case 1:
+		return append(out, runs[last]...)
+	case 2:
+		var a, b []Pair
+		for _, r := range runs {
+			if len(r) == 0 {
+				continue
+			}
+			if a == nil {
+				a = r
+			} else {
+				b = r
+			}
+		}
+		return mergeTwo(out, a, b)
+	}
+	return mergeHeap(out, runs)
+}
+
+// mergeTwo merges two sorted runs; ties take a (the lower run index).
+func mergeTwo(out, a, b []Pair) []Pair {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Key < a[i].Key {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// runHeap is a hand-rolled binary min-heap over run heads, ordered by
+// (head key, run index) so equal keys pop in run order.
+type runHeap struct {
+	runs [][]Pair
+	pos  []int // next unconsumed element per run
+	heap []int // run indices, heap-ordered
+}
+
+// less orders run a's head before run b's head.
+func (h *runHeap) less(a, b int) bool {
+	ka, kb := h.runs[a][h.pos[a]].Key, h.runs[b][h.pos[b]].Key
+	return ka < kb || (ka == kb && a < b)
+}
+
+func (h *runHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			return
+		}
+		small := l
+		if r := l + 1; r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			small = r
+		}
+		if !h.less(h.heap[small], h.heap[i]) {
+			return
+		}
+		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+}
+
+// mergeHeap merges three or more runs with a loser-style heap.
+func mergeHeap(out []Pair, runs [][]Pair) []Pair {
+	h := &runHeap{runs: runs, pos: make([]int, len(runs)), heap: make([]int, 0, len(runs))}
+	for i, r := range runs {
+		if len(r) > 0 {
+			h.heap = append(h.heap, i)
+		}
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for len(h.heap) > 0 {
+		top := h.heap[0]
+		out = append(out, h.runs[top][h.pos[top]])
+		h.pos[top]++
+		if h.pos[top] == len(h.runs[top]) {
+			h.heap[0] = h.heap[len(h.heap)-1]
+			h.heap = h.heap[:len(h.heap)-1]
+		}
+		h.siftDown(0)
+	}
+	return out
+}

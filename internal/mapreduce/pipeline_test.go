@@ -1,0 +1,293 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPStragglerRequeue is the regression test for the dispatch
+// straggler bug: under the old lock-step loop, a worker goroutine
+// returned as soon as the queue was momentarily empty, so a task
+// requeued by a late worker failure had nobody left to run it and the
+// job aborted with "dispatch finished with straggler tasks". The
+// pipelined dispatcher keeps healthy writers parked on the queue until
+// the phase completes, so the job must now succeed.
+//
+// Choreography: the slow worker takes some tasks and sits on them long
+// enough for the healthy worker to drain the rest of the queue, then
+// drops its connection; its in-flight tasks requeue and the healthy
+// worker must pick them up.
+func TestTCPStragglerRequeue(t *testing.T) {
+	job := &Job{
+		Name:        "tcp-straggler",
+		NumReducers: 2,
+		SplitSize:   1, // one task per record: plenty of tasks to strand
+		Map: func(key string, value []byte, emit Emit) error {
+			emit("k"+key[len(key)-1:], []byte(key))
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+	}
+	Register(job)
+
+	m, err := NewMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slow straggler: hold in-flight tasks, then die
+		defer wg.Done()
+		conn, cdc := dialHello(t, m.Addr(), WireVersionLatest)
+		var task taskMsg
+		_, _ = cdc.readTask(&task)
+		time.Sleep(300 * time.Millisecond)
+		_ = conn.Close()
+	}()
+	go func() { // healthy worker
+		defer wg.Done()
+		if err := RunWorker(m.Addr()); err != nil {
+			t.Errorf("healthy worker: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.ConnectedWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not join")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	out, ctr, err := m.Run(job, manyRecords(24))
+	if err != nil {
+		t.Fatalf("job failed despite a surviving worker: %v", err)
+	}
+	total := 0
+	for _, p := range out {
+		n, err := strconv.Atoi(string(p.Value))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 24 {
+		t.Fatalf("reduce saw %d records, want 24 (lost or duplicated requeues)", total)
+	}
+	if ctr.MapTasks != 24 {
+		t.Fatalf("MapTasks = %d, want 24", ctr.MapTasks)
+	}
+	_ = m.Close()
+	wg.Wait()
+}
+
+// orderSensitiveJob makes shuffle order visible in the output bytes:
+// reduce concatenates its values in arrival order, so any executor
+// that orders equal keys differently produces different bytes.
+func orderSensitiveJob(name string) *Job {
+	return &Job{
+		Name:        name,
+		NumReducers: 4,
+		SplitSize:   8,
+		Map: func(key string, value []byte, emit Emit) error {
+			id, err := strconv.Atoi(key)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < 8; j++ {
+				k := fmt.Sprintf("k%02d", (id*7+j*13)%31)
+				emit(k, []byte(fmt.Sprintf("%d.%d", id, j)))
+			}
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			emit(key, bytes.Join(values, []byte(",")))
+			return nil
+		},
+	}
+}
+
+// TestShuffleDeterminismAcrossExecutors fixes one input and asserts
+// byte-identical output from the Local pool, the pipelined frame
+// protocol, and the lock-step gob replay configuration — the
+// determinism contract the merge shuffle must uphold (run under the CI
+// -race gate, where dispatch interleavings vary wildly).
+func TestShuffleDeterminismAcrossExecutors(t *testing.T) {
+	job := orderSensitiveJob("determinism-x3")
+	Register(job)
+	input := manyRecords(64)
+
+	localOut, _, err := (&Local{Workers: 4}).Run(job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runTCP := func(cfg TCPConfig) []Pair {
+		t.Helper()
+		cfg.Addr = "127.0.0.1:0"
+		cfg.MinWorkers = 2
+		m, err := NewMasterTCP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = m.Close() }()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := RunWorker(m.Addr()); err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for m.ConnectedWorkers() < 2 {
+			if time.Now().After(deadline) {
+				t.Fatal("workers did not join")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		out, _, err := m.Run(job, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m.Close()
+		wg.Wait()
+		return out
+	}
+
+	pipelined := runTCP(TCPConfig{}) // defaults: frames, in-flight window
+	lockstep := runTCP(TCPConfig{MaxInFlight: 1, MaxWireVersion: WireVersionGob})
+
+	for name, got := range map[string][]Pair{"pipelined": pipelined, "lockstep-gob": lockstep} {
+		if len(got) != len(localOut) {
+			t.Fatalf("%s: %d records, local has %d", name, len(got), len(localOut))
+		}
+		for i := range got {
+			if got[i].Key != localOut[i].Key || !bytes.Equal(got[i].Value, localOut[i].Value) {
+				t.Fatalf("%s record %d = %q:%q, local has %q:%q",
+					name, i, got[i].Key, got[i].Value, localOut[i].Key, localOut[i].Value)
+			}
+		}
+	}
+}
+
+// TestTCPCombinerShrinksShuffle runs the combiner path over the frame
+// protocol and checks both correctness and that the combiner actually
+// shrinks the measured shuffle (ShuffleBytes now meters real result
+// frames in TCP mode).
+func TestTCPCombinerShrinksShuffle(t *testing.T) {
+	input := make([]Pair, 8)
+	for i := range input {
+		input[i] = Pair{Key: strconv.Itoa(i), Value: []byte("rep rep rep rep other other tail")}
+	}
+	plain := wordCountJob("tcp-comb-off", 3, false)
+	plain.SplitSize = 2
+	combined := wordCountJob("tcp-comb-on", 3, true)
+	combined.SplitSize = 2
+	Register(plain)
+	Register(combined)
+
+	m, stop := startCluster(t, 2)
+	defer stop()
+
+	wantOut, _, err := (&Local{}).Run(plain, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOut, plainCtr, err := m.Run(plain, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combOut, combCtr, err := m.Run(combined, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string][]Pair{"plain": plainOut, "combined": combOut} {
+		if len(got) != len(wantOut) {
+			t.Fatalf("%s: %d records, want %d", name, len(got), len(wantOut))
+		}
+		for i := range got {
+			if got[i].Key != wantOut[i].Key || !bytes.Equal(got[i].Value, wantOut[i].Value) {
+				t.Fatalf("%s record %d = %v, want %v", name, i, got[i], wantOut[i])
+			}
+		}
+	}
+	if combCtr.MapOutputs >= plainCtr.MapOutputs {
+		t.Fatalf("combiner did not shrink map outputs: %d vs %d",
+			combCtr.MapOutputs, plainCtr.MapOutputs)
+	}
+	if combCtr.ShuffleBytes >= plainCtr.ShuffleBytes {
+		t.Fatalf("combiner did not shrink shuffle bytes: %d vs %d",
+			combCtr.ShuffleBytes, plainCtr.ShuffleBytes)
+	}
+}
+
+// TestTCPWireCountersMeterRealTraffic compares the TCP executor's
+// measured shuffle against the Local executor's key+value
+// approximation for the same job: real frames carry framing overhead
+// on top of the payload, so the TCP number must be at least as large.
+// It also checks the new wire counters are actually populated.
+func TestTCPWireCountersMeterRealTraffic(t *testing.T) {
+	job := shuffleHeavyJob("tcp-wirectr", 4, 8)
+	Register(job)
+	input := shuffleHeavyInput(256)
+
+	_, localCtr, err := (&Local{}).Run(job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stop := startCluster(t, 2)
+	defer stop()
+	_, tcpCtr, err := m.Run(job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tcpCtr.ShuffleBytes < localCtr.ShuffleBytes {
+		t.Fatalf("TCP ShuffleBytes %d < Local approximation %d; wire metering undercounts",
+			tcpCtr.ShuffleBytes, localCtr.ShuffleBytes)
+	}
+	if tcpCtr.WireBytesOut <= 0 || tcpCtr.WireBytesIn <= 0 {
+		t.Fatalf("wire byte counters empty: out=%d in=%d", tcpCtr.WireBytesOut, tcpCtr.WireBytesIn)
+	}
+	if tcpCtr.WireBytesIn < tcpCtr.ShuffleBytes {
+		t.Fatalf("WireBytesIn %d < ShuffleBytes %d: shuffle is a subset of inbound traffic",
+			tcpCtr.WireBytesIn, tcpCtr.ShuffleBytes)
+	}
+	if tcpCtr.EncodeNanos <= 0 || tcpCtr.DecodeNanos <= 0 {
+		t.Fatalf("serialization timers empty: enc=%dns dec=%dns", tcpCtr.EncodeNanos, tcpCtr.DecodeNanos)
+	}
+	if localCtr.WireBytesOut != 0 || localCtr.WireBytesIn != 0 {
+		t.Fatalf("Local executor reported wire traffic: %+v", localCtr)
+	}
+}
+
+// TestCountersAdd covers the aggregation helper the pipeline runners
+// use to accumulate per-job counters into one report.
+func TestCountersAdd(t *testing.T) {
+	a := &Counters{MapTasks: 1, ReduceTasks: 2, MapOutputs: 3, ShuffleBytes: 4,
+		WireBytesOut: 5, WireBytesIn: 6, EncodeNanos: 7, DecodeNanos: 8}
+	b := &Counters{MapTasks: 10, ReduceTasks: 20, MapOutputs: 30, ShuffleBytes: 40,
+		WireBytesOut: 50, WireBytesIn: 60, EncodeNanos: 70, DecodeNanos: 80}
+	a.Add(b)
+	want := Counters{MapTasks: 11, ReduceTasks: 22, MapOutputs: 33, ShuffleBytes: 44,
+		WireBytesOut: 55, WireBytesIn: 66, EncodeNanos: 77, DecodeNanos: 88}
+	if *a != want {
+		t.Fatalf("Add = %+v, want %+v", *a, want)
+	}
+	a.Add(nil) // nil is a no-op, not a crash
+	if *a != want {
+		t.Fatalf("Add(nil) changed counters: %+v", *a)
+	}
+}

@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -16,6 +15,14 @@ import (
 // shipping the same jar to every Hadoop node — both master and workers
 // must Register the jobs they will run; task messages carry only the
 // job name and the records.
+//
+// Task traffic is pipelined: every connection has a writer goroutine
+// and a reader goroutine sharing a bounded in-flight window
+// (TCPConfig.MaxInFlight), so the master encodes task i+1 while the
+// worker computes task i and the master decodes task i-1's result.
+// The worker mirrors the split with a decode → compute → encode
+// pipeline. Messages travel in the framing negotiated by the hello
+// (see wire.go); results are matched to tasks by Seq.
 
 // Register makes a job available to TCP workers in this process. It
 // must be called before RunWorker receives tasks for the job. Jobs are
@@ -53,21 +60,29 @@ type taskMsg struct {
 // resultMsg is the worker's reply.
 type resultMsg struct {
 	Seq int
-	// Parts holds per-partition map output, or a single slice of
-	// reduce output at index 0.
+	// Parts holds per-partition map output (each partition key-sorted),
+	// or a single key-sorted slice of reduce output at index 0.
 	Parts [][]Pair
 	Err   string
 }
 
-// Default deadlines for the TCP executor. A hung or partitioned peer
-// must never block the master (or a worker) forever; these bound every
-// socket operation while leaving ample room for long-running tasks.
+// Default tuning for the TCP executor. A hung or partitioned peer must
+// never block the master (or a worker) forever; the deadlines bound
+// every socket operation while leaving ample room for long tasks.
 const (
-	// DefaultDialTimeout bounds a worker's dial of the master.
+	// DefaultDialTimeout bounds a worker's dial of the master and the
+	// hello handshake on both sides.
 	DefaultDialTimeout = 10 * time.Second
-	// DefaultIOTimeout bounds one task exchange: the master's write of
-	// the task, the worker's computation, and the read of the result.
+	// DefaultIOTimeout bounds one task's wire round trip: the master's
+	// write of the task, the worker's computation, and the read of the
+	// result.
 	DefaultIOTimeout = 2 * time.Minute
+	// DefaultMaxInFlight is the per-connection pipelining window: how
+	// many tasks may be outstanding on one worker socket.
+	DefaultMaxInFlight = 4
+	// workerPipelineDepth is how many decoded tasks / pending results
+	// the worker buffers between its decode, compute, and encode stages.
+	workerPipelineDepth = 2
 )
 
 // TCPConfig configures a TCP master (see NewMasterTCP).
@@ -77,23 +92,38 @@ type TCPConfig struct {
 	// MinWorkers is how many workers must join before a job runs.
 	MinWorkers int
 	// DialTimeout bounds connection establishment on the worker side
-	// and is advertised so deployment scripts can match it
+	// and the hello handshake on both sides
 	// (default DefaultDialTimeout).
 	DialTimeout time.Duration
 	// IOTimeout bounds each task exchange with a worker: the write of
-	// the task message and the read of its result, which includes the
-	// worker's compute time. A worker that exceeds it is treated as
-	// failed and its task is re-queued (default DefaultIOTimeout).
+	// the task message and, per in-flight task, the wait for its
+	// result, which includes the worker's compute time. A worker that
+	// exceeds it is treated as failed and its tasks are re-queued
+	// (default DefaultIOTimeout).
 	IOTimeout time.Duration
+	// MaxInFlight caps the tasks pipelined on one worker connection.
+	// 1 replays the original lock-step exchange; the default
+	// (DefaultMaxInFlight) overlaps encode, compute, and decode.
+	MaxInFlight int
+	// MaxWireVersion caps the framing the hello may negotiate:
+	// WireVersionGob forces the legacy gob stream, 0 or
+	// WireVersionFrames (the default) allows binary frames.
+	MaxWireVersion int
 }
 
-// withDefaults fills unset timeouts.
+// withDefaults fills unset tuning fields.
 func (c TCPConfig) withDefaults() TCPConfig {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = DefaultDialTimeout
 	}
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = DefaultIOTimeout
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxWireVersion <= 0 || c.MaxWireVersion > WireVersionLatest {
+		c.MaxWireVersion = WireVersionLatest
 	}
 	return c
 }
@@ -113,7 +143,8 @@ type Master struct {
 
 // NewMaster starts listening on addr (e.g. "127.0.0.1:0") and waits for
 // minWorkers workers to join before running any job, with default
-// timeouts. Use NewMasterTCP to tune the deadlines.
+// tuning. Use NewMasterTCP to adjust deadlines, the pipelining window,
+// or the wire version.
 func NewMaster(addr string, minWorkers int) (*Master, error) {
 	return NewMasterTCP(TCPConfig{Addr: addr, MinWorkers: minWorkers})
 }
@@ -142,25 +173,35 @@ func (m *Master) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		m.mu.Lock()
-		if m.closed {
+		// Handshake off the accept loop so a slow or bogus dialer cannot
+		// block other joins; the join signal doubles as the goroutine's
+		// completion signal.
+		go func(conn net.Conn) {
+			st := &wireStats{}
+			v, herr := acceptHello(conn, byte(m.cfg.MaxWireVersion), m.cfg.DialTimeout, st)
+			if herr != nil {
+				_ = conn.Close() // not a worker; drop silently
+				return
+			}
+			cdc, cerr := newCodec(conn, v, st)
+			if cerr != nil {
+				_ = conn.Close()
+				return
+			}
+			w := &workerConn{conn: conn, cdc: cdc, st: st, version: v}
+			m.mu.Lock()
+			if m.closed {
+				m.mu.Unlock()
+				_ = conn.Close() // best-effort teardown of a late joiner
+				return
+			}
+			m.conns = append(m.conns, w)
 			m.mu.Unlock()
-			_ = conn.Close() // best-effort teardown of a late joiner
-			return
-		}
-		// The gob codec pair must live as long as the connection: gob
-		// streams are stateful, so a fresh encoder per job would resend
-		// type definitions and corrupt the worker's decoder state.
-		m.conns = append(m.conns, &workerConn{
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
-		})
-		m.mu.Unlock()
-		select {
-		case m.joined <- struct{}{}:
-		default:
-		}
+			select {
+			case m.joined <- struct{}{}:
+			default:
+			}
+		}(conn)
 	}
 }
 
@@ -194,11 +235,14 @@ func (m *Master) ConnectedWorkers() int {
 	return len(m.conns)
 }
 
-// workerConn serializes access to one worker socket.
+// workerConn is one negotiated worker socket. The pipelined dispatcher
+// writes tasks and reads results from separate goroutines; net.Conn
+// and the codec both support that split.
 type workerConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn    net.Conn
+	cdc     codec
+	st      *wireStats
+	version byte
 }
 
 func (m *Master) workers() []*workerConn {
@@ -217,7 +261,7 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 
 // RunContext implements ContextExecutor. Cancelling the context aborts
 // the job promptly — in-flight task exchanges are unblocked by forcing
-// their socket deadlines — and closes the master: the gob streams of
+// their socket deadlines — and closes the master: the byte streams of
 // abandoned exchanges are unrecoverable, so a cancelled master cannot
 // be reused (exactly like a master whose job failed).
 func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error) {
@@ -249,6 +293,7 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	workers := m.workers()
 	numReducers := job.numReducers()
 	ctr := &Counters{InputRecords: len(input), ReduceTasks: numReducers}
+	wireBefore := sumWireStats(workers)
 
 	// ---- map phase ----
 	mapTasks := splits(input, job.splitSize())
@@ -261,19 +306,35 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	if err != nil {
 		return nil, nil, err
 	}
-	partitions := make([][]Pair, numReducers)
+	// The shuffle bytes are the map-result frames that just crossed the
+	// wire — actual encoded bytes, not the key+value approximation.
+	ctr.ShuffleBytes = sumWireStats(workers).bytesIn - wireBefore.bytesIn
+
+	// ---- shuffle: per-partition k-way merge of the map-side runs ----
 	for _, res := range mapResults {
-		for p, pairs := range res.Parts {
-			if p >= numReducers {
-				return nil, nil, fmt.Errorf("mapreduce: worker returned partition %d of %d", p, numReducers)
-			}
-			partitions[p] = append(partitions[p], pairs...)
+		if len(res.Parts) > numReducers {
+			return nil, nil, fmt.Errorf("mapreduce: worker returned partition %d of %d", len(res.Parts)-1, numReducers)
+		}
+		for _, pairs := range res.Parts {
 			ctr.MapOutputs += len(pairs)
-			for _, kv := range pairs {
-				ctr.ShuffleBytes += int64(len(kv.Key) + len(kv.Value))
-			}
 		}
 	}
+	partitions := make([][]Pair, numReducers)
+	var shuffleWG sync.WaitGroup
+	for p := 0; p < numReducers; p++ {
+		shuffleWG.Add(1)
+		go func(p int) {
+			defer shuffleWG.Done()
+			runs := make([][]Pair, 0, len(mapResults))
+			for _, res := range mapResults {
+				if p < len(res.Parts) && len(res.Parts[p]) > 0 {
+					runs = append(runs, res.Parts[p])
+				}
+			}
+			partitions[p] = MergeRuns(runs)
+		}(p)
+	}
+	shuffleWG.Wait()
 
 	// ---- reduce phase ----
 	rmsgs := make([]taskMsg, 0, numReducers)
@@ -284,39 +345,123 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	if err != nil {
 		return nil, nil, err
 	}
-	var out []Pair
+	// Workers return reduce output key-sorted; assembly is the same
+	// tie-broken merge, in partition order.
+	outRuns := make([][]Pair, 0, len(redResults))
 	for _, res := range redResults {
-		if len(res.Parts) > 0 {
-			out = append(out, res.Parts[0]...)
+		if len(res.Parts) > 0 && len(res.Parts[0]) > 0 {
+			outRuns = append(outRuns, res.Parts[0])
 		}
 	}
-	sortPairs(out)
+	out := MergeRuns(outRuns)
 	ctr.OutputRecords = len(out)
+
+	wireAfter := sumWireStats(workers)
+	ctr.WireBytesOut = wireAfter.bytesOut - wireBefore.bytesOut
+	ctr.WireBytesIn = wireAfter.bytesIn - wireBefore.bytesIn
+	ctr.EncodeNanos = wireAfter.encodeNanos - wireBefore.encodeNanos
+	ctr.DecodeNanos = wireAfter.decodeNanos - wireBefore.decodeNanos
 	return out, ctr, nil
 }
 
-// dispatch fans tasks out to workers and collects one result per task.
-// A failing worker is dropped and its in-flight task re-queued; dispatch
-// fails only when no workers remain or the context is cancelled. On
-// cancellation the in-flight exchanges are unblocked by expiring their
-// socket deadlines, and the master is closed (see RunContext).
+// wireSnapshot is a point-in-time sum of per-connection wireStats.
+type wireSnapshot struct {
+	bytesOut, bytesIn, encodeNanos, decodeNanos int64
+}
+
+func sumWireStats(workers []*workerConn) wireSnapshot {
+	var s wireSnapshot
+	for _, w := range workers {
+		s.bytesOut += w.st.bytesOut.Load()
+		s.bytesIn += w.st.bytesIn.Load()
+		s.encodeNanos += w.st.encodeNanos.Load()
+		s.decodeNanos += w.st.decodeNanos.Load()
+	}
+	return s
+}
+
+// dispatchState is the bookkeeping one dispatch call shares across all
+// worker connections.
+type dispatchState struct {
+	queue   chan taskMsg // undispatched tasks; capacity covers every requeue
+	results []resultMsg
+
+	mu        sync.Mutex
+	done      int
+	alive     int
+	failure   error
+	phaseDone chan struct{} // closed on completion, failure, or last death
+	closed    bool
+}
+
+func (d *dispatchState) closePhase() {
+	if !d.closed {
+		d.closed = true
+		close(d.phaseDone)
+	}
+}
+
+// requeue returns a task to the queue for another worker. The queue's
+// capacity is the task count and every task is in at most one place —
+// the queue, a writer's hand, or an in-flight window — so the buffered
+// send cannot block.
+func (d *dispatchState) requeue(t taskMsg) {
+	d.queue <- t
+}
+
+func (d *dispatchState) complete(res resultMsg) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if res.Err != "" {
+		if d.failure == nil {
+			d.failure = fmt.Errorf("mapreduce: task %d: %s", res.Seq, res.Err)
+		}
+		d.closePhase()
+		return
+	}
+	d.results[res.Seq] = res
+	d.done++
+	if d.done == len(d.results) {
+		d.closePhase()
+	}
+}
+
+// workerGone retires a dead connection; the job fails only when no
+// workers remain and work is still outstanding.
+func (d *dispatchState) workerGone(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.alive--
+	if d.alive == 0 && d.done < len(d.results) && d.failure == nil {
+		d.failure = fmt.Errorf("mapreduce: all workers failed: last error: %w", err)
+		d.closePhase()
+	}
+}
+
+// dispatch fans tasks out to workers and collects one result per task,
+// pipelining up to MaxInFlight tasks per connection. A failing worker
+// is dropped and its in-flight tasks re-queued for the survivors, who
+// keep serving the queue until every task completes — a momentarily
+// empty queue is not the end of the phase, because a failing peer may
+// still return its tasks. Dispatch fails only when a task reports an
+// error, no workers remain, or the context is cancelled; cancellation
+// unblocks in-flight socket operations by expiring their deadlines and
+// closes the master (see RunContext).
 func (m *Master) dispatch(ctx context.Context, workers []*workerConn, tasks []taskMsg) ([]resultMsg, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
-	queue := make(chan taskMsg, len(tasks))
-	for _, t := range tasks {
-		queue <- t
+	d := &dispatchState{
+		queue:     make(chan taskMsg, len(tasks)),
+		results:   make([]resultMsg, len(tasks)),
+		alive:     len(workers),
+		phaseDone: make(chan struct{}),
 	}
-	results := make([]resultMsg, len(tasks))
-	var (
-		mu      sync.Mutex
-		done    int
-		failure error
-		alive   = len(workers)
-	)
+	for _, t := range tasks {
+		d.queue <- t
+	}
 	// Watchdog: a cancelled context force-expires every worker socket so
-	// in-flight Encode/Decode calls return immediately.
+	// in-flight reads and writes return immediately.
 	watchdogDone := make(chan struct{})
 	defer close(watchdogDone)
 	go func() {
@@ -333,78 +478,112 @@ func (m *Master) dispatch(ctx context.Context, workers []*workerConn, tasks []ta
 		wg.Add(1)
 		go func(w *workerConn) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				finished := done == len(tasks) || failure != nil
-				mu.Unlock()
-				if finished || ctx.Err() != nil {
-					return
-				}
-				var task taskMsg
-				select {
-				case task = <-queue:
-				default:
-					return // queue drained; remaining tasks are in flight elsewhere
-				}
-				res, err := w.exchange(task, m.cfg.IOTimeout)
-				if err != nil {
-					// Worker connection failed (or timed out, or the
-					// context expired its deadline): requeue and retire.
-					queue <- task
-					mu.Lock()
-					alive--
-					if alive == 0 {
-						failure = fmt.Errorf("mapreduce: all workers failed: last error: %w", err)
-					}
-					mu.Unlock()
-					return
-				}
-				if res.Err != "" {
-					mu.Lock()
-					failure = fmt.Errorf("mapreduce: task %d: %s", task.Seq, res.Err)
-					mu.Unlock()
-					return
-				}
-				mu.Lock()
-				results[task.Seq] = res
-				done++
-				mu.Unlock()
-			}
+			m.runConn(w, d)
 		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		// The abandoned gob streams are unusable; tear the master down so
+		// The abandoned streams are unusable; tear the master down so
 		// workers see a clean disconnect rather than corrupt frames.
 		_ = m.Close()
 		return nil, fmt.Errorf("mapreduce: job cancelled: %w", err)
 	}
+	d.mu.Lock()
+	failure, done := d.failure, d.done
+	d.mu.Unlock()
 	if failure != nil {
 		return nil, failure
 	}
 	if done != len(tasks) {
 		return nil, errors.New("mapreduce: dispatch finished with straggler tasks")
 	}
-	return results, nil
+	return d.results, nil
 }
 
-// exchange sends one task and reads its result, bounding both socket
-// operations (and the worker's compute time in between) by ioTimeout.
-func (w *workerConn) exchange(task taskMsg, ioTimeout time.Duration) (resultMsg, error) {
-	var res resultMsg
-	if err := w.conn.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
-		return res, err
+// runConn drives one worker connection for one phase: a writer (this
+// goroutine) pulls tasks from the shared queue and encodes them, a
+// reader decodes results; a window semaphore bounds the tasks in
+// flight between them. Either side failing closes the socket, which
+// unblocks the other; whatever tasks were still in flight are
+// re-queued once both sides have stopped.
+func (m *Master) runConn(w *workerConn, d *dispatchState) {
+	window := m.cfg.MaxInFlight
+	inflight := make(chan taskMsg, window) // FIFO of tasks awaiting results
+	sem := make(chan struct{}, window)     // window slots; released per result
+	readerDead := make(chan struct{})
+	var readErr error // written by the reader before readerDead closes
+
+	go func() { // reader
+		defer close(readerDead)
+		for {
+			t, ok := <-inflight
+			if !ok {
+				return // writer finished cleanly and nothing is in flight
+			}
+			var res resultMsg
+			err := w.conn.SetReadDeadline(time.Now().Add(m.cfg.IOTimeout))
+			if err == nil {
+				_, err = w.cdc.readResult(&res)
+			}
+			if err == nil && res.Seq != t.Seq {
+				err = fmt.Errorf("mapreduce: worker answered task %d with result %d", t.Seq, res.Seq)
+			}
+			if err != nil {
+				d.requeue(t)
+				readErr = err
+				return
+			}
+			d.complete(res)
+			<-sem
+		}
+	}()
+
+	var writeErr error
+writerLoop:
+	for {
+		var t taskMsg
+		select {
+		case t = <-d.queue:
+		case <-d.phaseDone:
+			break writerLoop
+		case <-readerDead:
+			break writerLoop
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-d.phaseDone:
+			d.requeue(t)
+			break writerLoop
+		case <-readerDead:
+			d.requeue(t)
+			break writerLoop
+		}
+		inflight <- t // capacity == window, and sem holds a slot: never blocks
+		writeErr = w.conn.SetWriteDeadline(time.Now().Add(m.cfg.IOTimeout))
+		if writeErr == nil {
+			_, writeErr = w.cdc.writeTask(&t)
+		}
+		if writeErr != nil {
+			// The task is in the in-flight FIFO; the teardown below
+			// requeues it after the reader stops.
+			break
+		}
 	}
-	if err := w.enc.Encode(&task); err != nil {
-		return res, err
+	close(inflight)
+	if writeErr != nil {
+		// Unblock the reader (it may be waiting on a result that will
+		// never come) and let it observe the closed channel.
+		_ = w.conn.Close()
 	}
-	if err := w.conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
-		return res, err
+	<-readerDead
+	// Both sides have stopped: requeue everything still in flight.
+	for t := range inflight {
+		d.requeue(t)
 	}
-	if err := w.dec.Decode(&res); err != nil {
-		return res, err
+	if err := errors.Join(writeErr, readErr); err != nil {
+		_ = w.conn.Close()
+		d.workerGone(err)
 	}
-	return res, nil
 }
 
 // RunWorker connects to a master and serves tasks until the master
@@ -414,11 +593,15 @@ func RunWorker(addr string) error {
 	return RunWorkerContext(context.Background(), addr)
 }
 
-// RunWorkerContext connects to a master (bounded by DefaultDialTimeout)
-// and serves tasks until the master closes the connection (returns nil)
-// or ctx is cancelled (returns the context error). The idle wait for
-// the next task is unbounded — a healthy master may simply have no work
-// — but every result write is bounded by DefaultIOTimeout.
+// RunWorkerContext connects to a master (bounded by DefaultDialTimeout,
+// which also bounds the hello handshake) and serves tasks until the
+// master closes the connection (returns nil) or ctx is cancelled
+// (returns the context error). Decode, compute, and encode run as a
+// three-stage pipeline so the worker deserializes the next task and
+// serializes the previous result while the current task computes. The
+// idle wait for the next task is unbounded — a healthy master may
+// simply have no work — but every result write is bounded by
+// DefaultIOTimeout.
 func RunWorkerContext(ctx context.Context, addr string) (err error) {
 	dialer := net.Dialer{Timeout: DefaultDialTimeout}
 	conn, derr := dialer.DialContext(ctx, "tcp", addr)
@@ -426,8 +609,20 @@ func RunWorkerContext(ctx context.Context, addr string) (err error) {
 		return fmt.Errorf("mapreduce: dial master: %w", derr)
 	}
 	defer func() { err = errors.Join(err, conn.Close()) }()
+	st := &wireStats{}
+	version, herr := sendHello(conn, WireVersionLatest, DefaultDialTimeout, st)
+	if herr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return herr
+	}
+	cdc, cerr := newCodec(conn, version, st)
+	if cerr != nil {
+		return cerr
+	}
 	// Watchdog: cancellation force-expires the socket so a blocked
-	// Decode (idle worker) or Encode (mid-send) returns immediately.
+	// read (idle worker) or write (mid-send) returns immediately.
 	watchdogDone := make(chan struct{})
 	defer close(watchdogDone)
 	go func() {
@@ -437,30 +632,59 @@ func RunWorkerContext(ctx context.Context, addr string) (err error) {
 		case <-watchdogDone:
 		}
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
-		}
-		var task taskMsg
-		if derr := dec.Decode(&task); derr != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
+
+	tasks := make(chan taskMsg, workerPipelineDepth)
+	results := make(chan resultMsg, workerPipelineDepth)
+	var encodeErr error
+	encodeDone := make(chan struct{})
+
+	go func() { // decoder: socket -> tasks
+		defer close(tasks)
+		for {
+			var task taskMsg
+			if _, derr := cdc.readTask(&task); derr != nil {
+				// Master closed the stream (clean shutdown), the
+				// watchdog expired the socket, or the encoder closed the
+				// connection after its own failure; the compute loop's
+				// exit path reports whichever applies.
+				return
 			}
-			return nil // master closed the connection: clean shutdown
+			tasks <- task
 		}
-		res := executeTask(task)
-		if werr := conn.SetWriteDeadline(time.Now().Add(DefaultIOTimeout)); werr != nil {
-			return fmt.Errorf("mapreduce: send result: %w", werr)
-		}
-		if werr := enc.Encode(&res); werr != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return cerr
+	}()
+	go func() { // encoder: results -> socket
+		defer close(encodeDone)
+		for res := range results {
+			if encodeErr != nil {
+				continue // drain so the compute loop never blocks
 			}
-			return fmt.Errorf("mapreduce: send result: %w", werr)
+			if werr := conn.SetWriteDeadline(time.Now().Add(DefaultIOTimeout)); werr != nil {
+				encodeErr = werr
+			} else if _, werr := cdc.writeResult(&res); werr != nil {
+				encodeErr = werr
+			}
+			if encodeErr != nil {
+				// Error the decoder out too: without a working result
+				// path, accepting more tasks only wastes master time.
+				_ = conn.Close()
+			}
 		}
+	}()
+	for task := range tasks { // compute
+		if ctx.Err() != nil {
+			continue // drain without computing; the ctx error is returned below
+		}
+		results <- executeTask(task)
 	}
+	close(results)
+	<-encodeDone
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if encodeErr != nil {
+		return fmt.Errorf("mapreduce: send result: %w", encodeErr)
+	}
+	return nil // master closed the connection: clean shutdown
 }
 
 // executeTask runs one map or reduce task against the local registry
@@ -490,15 +714,10 @@ func executeTask(task taskMsg) resultMsg {
 			}
 			local = combined
 		}
-		parts := make([][]Pair, task.NumReducers)
-		for _, p := range local {
-			idx := job.partition(p.Key)
-			parts[idx] = append(parts[idx], p)
-		}
-		res.Parts = parts
+		res.Parts = partitionSorted(job, task.NumReducers, local)
 	case "reduce":
 		pairs := task.Records
-		sortPairs(pairs)
+		sortPairs(pairs) // master pre-merges, so this is the O(n) fast path
 		var out []Pair
 		err := groupSorted(pairs, func(key string, values [][]byte) error {
 			return job.Reduce(key, values, func(k string, v []byte) {
@@ -509,6 +728,9 @@ func executeTask(task taskMsg) resultMsg {
 			res.Err = err.Error()
 			return res
 		}
+		// Sort the output here, in parallel across workers, so the
+		// master's final assembly is a pure merge.
+		sortPairs(out)
 		res.Parts = [][]Pair{out}
 	default:
 		res.Err = fmt.Sprintf("unknown phase %q", task.Phase)

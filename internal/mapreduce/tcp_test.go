@@ -1,7 +1,6 @@
 package mapreduce
 
 import (
-	"encoding/gob"
 	"net"
 	"strings"
 	"sync"
@@ -160,18 +159,34 @@ func TestTCPEmptyInput(t *testing.T) {
 	}
 }
 
+// dialHello dials the master and completes the hello handshake as a
+// worker speaking up to maxVersion, returning the connection and the
+// negotiated codec.
+func dialHello(t *testing.T, addr string, maxVersion byte) (net.Conn, codec) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	st := &wireStats{}
+	v, err := sendHello(conn, maxVersion, time.Second, st)
+	if err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	cdc, err := newCodec(conn, v, st)
+	if err != nil {
+		t.Fatalf("codec: %v", err)
+	}
+	return conn, cdc
+}
+
 // faultyWorker joins the master, reads one task, and drops the
 // connection without replying — simulating a task-tracker crash.
 func faultyWorker(t *testing.T, addr string) {
 	t.Helper()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Errorf("faulty worker dial: %v", err)
-		return
-	}
-	dec := gob.NewDecoder(conn)
+	conn, cdc := dialHello(t, addr, WireVersionLatest)
 	var task taskMsg
-	_ = dec.Decode(&task) // swallow one task (or the close), then die
+	_, _ = cdc.readTask(&task) // swallow one task (or the close), then die
 	conn.Close()
 }
 

@@ -1,0 +1,523 @@
+package mapreduce
+
+// The TCP executor's wire protocol. A connection opens with a hello —
+// the worker sends a 5-byte "DASC"+maxVersion greeting and the master
+// answers with the single version byte both sides will speak — and
+// then carries task/result messages in the negotiated framing:
+//
+//	version 1 (gob):    the original stateful gob stream, kept for
+//	                    lock-step replay and as the negotiation floor.
+//	version 2 (frames): length-prefixed binary frames,
+//
+//	    uvarint bodyLen │ body
+//	    body = kind byte ('T' task / 'R' result) │ fields
+//
+//	    taskMsg   = uvarint Seq │ str JobName │ str Phase │
+//	                bytes Conf │ uvarint NumReducers │
+//	                uvarint nRecords │ nRecords × (str Key │ bytes Val)
+//	    resultMsg = uvarint Seq │ str Err │ uvarint nParts │
+//	                nParts × (uvarint nPairs │ nPairs × pair)
+//
+//	    str/bytes = uvarint length │ raw bytes
+//
+// Frames need no per-record reflection: encoding appends into a pooled
+// scratch buffer (one Write per frame), decoding reads the exact body
+// and aliases record values into it (one allocation per frame plus the
+// key strings). Both codecs account bytes and serialization wall time
+// into per-connection wireStats, which the master aggregates into
+// Counters.WireBytes* / *Nanos.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire protocol versions a master or worker can speak. The hello
+// negotiates min(worker max, master max); see TCPConfig.MaxWireVersion.
+const (
+	// WireVersionGob is the original gob stream framing.
+	WireVersionGob = 1
+	// WireVersionFrames is the length-prefixed binary frame codec.
+	WireVersionFrames = 2
+	// WireVersionLatest is the highest version this build speaks.
+	WireVersionLatest = WireVersionFrames
+)
+
+// wireMagic opens every hello; a peer that does not present it is not
+// a DASC worker and is disconnected during the handshake.
+var wireMagic = [4]byte{'D', 'A', 'S', 'C'}
+
+// helloLen is magic + the sender's maximum version byte.
+const helloLen = len(wireMagic) + 1
+
+// maxFrameBody caps a decoded frame body, protecting the master from a
+// corrupt or hostile length prefix.
+const maxFrameBody = 1 << 30
+
+// frame body kinds.
+const (
+	frameTask   = 'T'
+	frameResult = 'R'
+)
+
+// wireStats accumulates one connection's traffic. All fields are
+// atomics: the pipelined master reads and writes a socket from
+// different goroutines, and counter snapshots race with live traffic.
+type wireStats struct {
+	bytesOut    atomic.Int64
+	bytesIn     atomic.Int64
+	encodeNanos atomic.Int64
+	decodeNanos atomic.Int64
+}
+
+// codec reads and writes task/result messages on one connection. Every
+// method returns the message's size in wire bytes. Implementations are
+// safe for one concurrent reader plus one concurrent writer (the
+// pipelined connection split), not for two of either.
+type codec interface {
+	writeTask(t *taskMsg) (int, error)
+	readTask(t *taskMsg) (int, error)
+	writeResult(r *resultMsg) (int, error)
+	readResult(r *resultMsg) (int, error)
+}
+
+// newCodec builds the codec for a negotiated version.
+func newCodec(conn net.Conn, version byte, st *wireStats) (codec, error) {
+	switch version {
+	case WireVersionGob:
+		return newGobCodec(conn, st), nil
+	case WireVersionFrames:
+		return newFrameCodec(conn, st), nil
+	}
+	return nil, fmt.Errorf("mapreduce: unsupported wire version %d", version)
+}
+
+// sendHello performs the worker side of the handshake: greet with our
+// maximum version, read back the master's choice.
+func sendHello(conn net.Conn, maxVersion byte, timeout time.Duration, st *wireStats) (byte, error) {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	var hello [helloLen]byte
+	copy(hello[:], wireMagic[:])
+	hello[len(wireMagic)] = maxVersion
+	if _, err := conn.Write(hello[:]); err != nil {
+		return 0, fmt.Errorf("mapreduce: send hello: %w", err)
+	}
+	var reply [1]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return 0, fmt.Errorf("mapreduce: read hello reply: %w", err)
+	}
+	st.bytesOut.Add(int64(helloLen))
+	st.bytesIn.Add(1)
+	v := reply[0]
+	if v < WireVersionGob || v > maxVersion {
+		return 0, fmt.Errorf("mapreduce: master chose unusable wire version %d", v)
+	}
+	// The handshake deadline is done; task reads are unbounded (an idle
+	// worker waits indefinitely) and writes are re-bounded per result.
+	return v, conn.SetDeadline(time.Time{})
+}
+
+// acceptHello performs the master side of the handshake and returns
+// the negotiated version.
+func acceptHello(conn net.Conn, ourMax byte, timeout time.Duration, st *wireStats) (byte, error) {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, fmt.Errorf("mapreduce: read hello: %w", err)
+	}
+	if [4]byte(hello[:4]) != wireMagic {
+		return 0, errors.New("mapreduce: peer is not a DASC worker (bad hello magic)")
+	}
+	theirMax := hello[len(wireMagic)]
+	if theirMax < WireVersionGob {
+		return 0, fmt.Errorf("mapreduce: worker advertises unusable wire version %d", theirMax)
+	}
+	v := min(theirMax, ourMax)
+	if _, err := conn.Write([]byte{v}); err != nil {
+		return 0, fmt.Errorf("mapreduce: send hello reply: %w", err)
+	}
+	st.bytesIn.Add(int64(helloLen))
+	st.bytesOut.Add(1)
+	return v, conn.SetDeadline(time.Time{})
+}
+
+// ---- version 1: gob ----
+
+// countingWriter / countingReader meter the raw stream for the gob
+// codec, which cannot size its own messages.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// gobCodec is wire version 1. The encoder/decoder pair must live as
+// long as the connection: gob streams are stateful, so a fresh encoder
+// would resend type definitions and corrupt the peer's decoder state.
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	st  *wireStats
+}
+
+func newGobCodec(conn net.Conn, st *wireStats) *gobCodec {
+	return &gobCodec{
+		enc: gob.NewEncoder(&countingWriter{w: conn, n: &st.bytesOut}),
+		dec: gob.NewDecoder(&countingReader{r: conn, n: &st.bytesIn}),
+		st:  st,
+	}
+}
+
+func (c *gobCodec) encode(v any) (int, error) {
+	before := c.st.bytesOut.Load()
+	start := time.Now()
+	err := c.enc.Encode(v)
+	c.st.encodeNanos.Add(time.Since(start).Nanoseconds())
+	return int(c.st.bytesOut.Load() - before), err
+}
+
+func (c *gobCodec) decode(v any) (int, error) {
+	before := c.st.bytesIn.Load()
+	start := time.Now()
+	err := c.dec.Decode(v)
+	c.st.decodeNanos.Add(time.Since(start).Nanoseconds())
+	return int(c.st.bytesIn.Load() - before), err
+}
+
+func (c *gobCodec) writeTask(t *taskMsg) (int, error)     { return c.encode(t) }
+func (c *gobCodec) readTask(t *taskMsg) (int, error)      { return c.decode(t) }
+func (c *gobCodec) writeResult(r *resultMsg) (int, error) { return c.encode(r) }
+func (c *gobCodec) readResult(r *resultMsg) (int, error)  { return c.decode(r) }
+
+// ---- version 2: length-prefixed binary frames ----
+
+// encBuf is the pooled encode scratch; frames reuse its backing array
+// so steady-state encoding allocates nothing.
+type encBuf struct{ b []byte }
+
+var encBufPool = sync.Pool{
+	New: func() any { return &encBuf{b: make([]byte, 0, 4096)} },
+}
+
+// frameCodec is wire version 2.
+type frameCodec struct {
+	w  io.Writer
+	br *bufio.Reader
+	st *wireStats
+}
+
+func newFrameCodec(conn net.Conn, st *wireStats) *frameCodec {
+	return &frameCodec{w: conn, br: bufio.NewReaderSize(conn, 1<<16), st: st}
+}
+
+// hdrReserve leaves room at the buffer front for the length prefix.
+const hdrReserve = binary.MaxVarintLen64
+
+// sendFrame serializes body (appended by fill after the kind byte),
+// prefixes its length, and writes the frame with a single Write.
+func (c *frameCodec) sendFrame(kind byte, fill func(b []byte) []byte) (int, error) {
+	eb := encBufPool.Get().(*encBuf)
+	start := time.Now()
+	b := append(eb.b[:0], make([]byte, hdrReserve)...)
+	b = append(b, kind)
+	b = fill(b)
+	bodyLen := len(b) - hdrReserve
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(bodyLen))
+	frameStart := hdrReserve - n
+	copy(b[frameStart:hdrReserve], tmp[:n])
+	c.st.encodeNanos.Add(time.Since(start).Nanoseconds())
+	nw, err := c.w.Write(b[frameStart:])
+	c.st.bytesOut.Add(int64(nw))
+	eb.b = b
+	encBufPool.Put(eb)
+	return n + bodyLen, err
+}
+
+// recvFrame reads one frame and returns its kind, body, and total wire
+// size. The body is freshly allocated per frame; decoded records alias
+// it, so it must not be pooled.
+func (c *frameCodec) recvFrame() (byte, []byte, int, error) {
+	bodyLen, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if bodyLen < 1 || bodyLen > maxFrameBody {
+		return 0, nil, 0, fmt.Errorf("mapreduce: frame body length %d out of range", bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, 0, fmt.Errorf("mapreduce: short frame: %w", err)
+	}
+	size := uvarintLen(bodyLen) + int(bodyLen)
+	c.st.bytesIn.Add(int64(size))
+	return body[0], body[1:], size, nil
+}
+
+// uvarintLen is the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendWireBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func (c *frameCodec) writeTask(t *taskMsg) (int, error) {
+	return c.sendFrame(frameTask, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, uint64(t.Seq))
+		b = appendWireString(b, t.JobName)
+		b = appendWireString(b, t.Phase)
+		b = appendWireBytes(b, t.Conf)
+		b = binary.AppendUvarint(b, uint64(t.NumReducers))
+		return appendPairs(b, t.Records)
+	})
+}
+
+func (c *frameCodec) writeResult(r *resultMsg) (int, error) {
+	return c.sendFrame(frameResult, func(b []byte) []byte {
+		b = binary.AppendUvarint(b, uint64(r.Seq))
+		b = appendWireString(b, r.Err)
+		b = binary.AppendUvarint(b, uint64(len(r.Parts)))
+		for _, part := range r.Parts {
+			b = appendPairs(b, part)
+		}
+		return b
+	})
+}
+
+func appendPairs(b []byte, pairs []Pair) []byte {
+	b = binary.AppendUvarint(b, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = appendWireString(b, p.Key)
+		b = appendWireBytes(b, p.Value)
+	}
+	return b
+}
+
+func (c *frameCodec) readTask(t *taskMsg) (int, error) {
+	kind, body, size, err := c.recvFrame()
+	if err != nil {
+		return size, err
+	}
+	if kind != frameTask {
+		return size, fmt.Errorf("mapreduce: expected task frame, got %q", kind)
+	}
+	start := time.Now()
+	err = parseTask(body, t)
+	c.st.decodeNanos.Add(time.Since(start).Nanoseconds())
+	return size, err
+}
+
+func (c *frameCodec) readResult(r *resultMsg) (int, error) {
+	kind, body, size, err := c.recvFrame()
+	if err != nil {
+		return size, err
+	}
+	if kind != frameResult {
+		return size, fmt.Errorf("mapreduce: expected result frame, got %q", kind)
+	}
+	start := time.Now()
+	err = parseResult(body, r)
+	c.st.decodeNanos.Add(time.Since(start).Nanoseconds())
+	return size, err
+}
+
+// parser consumes a frame body; the first malformed field latches err
+// and turns the remaining reads into no-ops.
+type parser struct {
+	b   []byte
+	err error
+}
+
+func (p *parser) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("mapreduce: malformed frame: %s", what)
+	}
+}
+
+func (p *parser) uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		p.fail(what)
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+// count reads a length field that sizes max-byte elements, rejecting
+// values the remaining body cannot possibly hold.
+func (p *parser) count(what string) int {
+	v := p.uvarint(what)
+	if p.err == nil && v > uint64(len(p.b)) {
+		p.fail(what + " overruns frame")
+		return 0
+	}
+	return int(v)
+}
+
+// bytes returns the next length-prefixed field aliased into the body
+// (nil when empty, matching a gob round trip of an empty slice).
+func (p *parser) bytes(what string) []byte {
+	n := p.count(what)
+	if p.err != nil || n == 0 {
+		return nil
+	}
+	v := p.b[:n:n]
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *parser) str(what string) string {
+	return string(p.bytes(what))
+}
+
+func (p *parser) intField(what string) int {
+	v := p.uvarint(what)
+	if v > math.MaxInt32 {
+		p.fail(what + " overflows")
+		return 0
+	}
+	return int(v)
+}
+
+func (p *parser) pairs(what string) []Pair {
+	n := p.count(what)
+	if p.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]Pair, n)
+	for i := range out {
+		out[i].Key = p.str("record key")
+		out[i].Value = p.bytes("record value")
+		if p.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// done rejects trailing garbage after the last field.
+func (p *parser) done() error {
+	if p.err == nil && len(p.b) != 0 {
+		p.fail(fmt.Sprintf("%d trailing bytes", len(p.b)))
+	}
+	return p.err
+}
+
+func parseTask(body []byte, t *taskMsg) error {
+	p := &parser{b: body}
+	t.Seq = p.intField("task seq")
+	t.JobName = p.str("job name")
+	t.Phase = p.str("phase")
+	t.Conf = p.bytes("conf")
+	t.NumReducers = p.intField("num reducers")
+	t.Records = p.pairs("records")
+	return p.done()
+}
+
+func parseResult(body []byte, r *resultMsg) error {
+	p := &parser{b: body}
+	r.Seq = p.intField("result seq")
+	r.Err = p.str("result error")
+	nParts := p.count("parts")
+	r.Parts = nil
+	if p.err == nil && nParts > 0 {
+		r.Parts = make([][]Pair, nParts)
+		for i := range r.Parts {
+			r.Parts[i] = p.pairs("part")
+			if p.err != nil {
+				break
+			}
+		}
+	}
+	return p.done()
+}
+
+// WireRoundTrip encodes msg-shaped record traffic through the frame
+// codec and decodes it back over an in-memory pipe, returning the
+// frame's wire size — the dascbench hook for the codec hot path and a
+// self-test that the framing is invertible.
+func WireRoundTrip(pairs []Pair) (int, error) {
+	var st wireStats
+	var buf writeBuffer
+	enc := &frameCodec{w: &buf, st: &st}
+	in := resultMsg{Seq: 1, Parts: [][]Pair{pairs}}
+	n, err := enc.writeResult(&in)
+	if err != nil {
+		return n, err
+	}
+	dec := &frameCodec{br: bufio.NewReader(&buf), st: &st}
+	var out resultMsg
+	if _, err := dec.readResult(&out); err != nil {
+		return n, err
+	}
+	if len(out.Parts) != 1 || len(out.Parts[0]) != len(pairs) {
+		return n, errors.New("mapreduce: wire round trip changed record count")
+	}
+	return n, nil
+}
+
+// writeBuffer is a minimal in-memory io.Writer+Reader for WireRoundTrip.
+type writeBuffer struct {
+	b   []byte
+	off int
+}
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writeBuffer) Read(p []byte) (int, error) {
+	if w.off >= len(w.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, w.b[w.off:])
+	w.off += n
+	return n, nil
+}
