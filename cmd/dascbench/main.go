@@ -1,6 +1,8 @@
 // Command dascbench is the repository's JSON benchmark harness: it
 // times the hot paths of the DASC pipeline (blocked Gram engine,
-// sub-Gram, median-sigma, the end-to-end clusterer and the SC baseline)
+// sub-Gram, median-sigma, the end-to-end clusterer and the SC
+// baseline), of the per-bucket solve engine (dense vs thresholded-CSR
+// sparse eigensolve on one bucket-sized problem)
 // and of the MapReduce data plane (merge shuffle vs concat+sort, the
 // binary frame codec, and a shuffle-heavy TCP job under the pipelined
 // and lock-step wire configurations) with fixed iteration counts and
@@ -168,6 +170,10 @@ func run() error {
 		last := &rep.Results[len(rep.Results)-1]
 		last.Acc = scAcc
 		last.GramFrac = 1
+	}
+
+	if err := benchSolve(add, *quick); err != nil {
+		return err
 	}
 
 	if err := benchDataPlane(add, *quick); err != nil {

@@ -1,0 +1,89 @@
+package main
+
+// The per-bucket solve-engine benchmarks: one bucket-sized eigensolve
+// through spectral.ClusterBucket on the dense path and on the
+// thresholded-CSR sparse path, on identical blob data whose measured
+// fill sits well under the sparse ceiling. The sparse entry's gramfrac
+// records its CSR footprint as a fraction of the dense 4n² bytes, so
+// successive BENCH files track both the speedup and the compression.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// solveBlobs builds k tight, well-separated Gaussian blobs: with a unit
+// bandwidth and ε = 1e-4, cross-blob similarities threshold away and
+// fill lands near 1/k.
+func solveBlobs(seed int64, k, per, d int, sep, noise float64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	pts := matrix.NewDense(k*per, d)
+	for c := 0; c < k; c++ {
+		for i := 0; i < per; i++ {
+			row := pts.Row(c*per + i)
+			for j := range row {
+				row[j] = float64(c)*sep + noise*rng.NormFloat64()
+			}
+		}
+	}
+	return pts
+}
+
+// benchSolve appends the solve-engine entries to the report.
+func benchSolve(add addFunc, quick bool) error {
+	per := 192 // 8 blobs x 192 = 1536 points, the mid-bucket regime
+	if quick {
+		per = 64
+	}
+	pts := solveBlobs(17, 8, per, 16, 14, 0.3)
+	n := pts.Rows()
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i
+	}
+	kf := kernel.NewGaussian(1.0)
+	denseCfg := spectral.EngineConfig{K: 8, Seed: 1}
+	sparseCfg := spectral.EngineConfig{K: 8, Seed: 1, SparseCutoff: 256, Epsilon: 1e-4}
+
+	// One untimed pass per config pins the policy and the storage ratio
+	// before the timed loops.
+	var buf []float64
+	_, denseStats, err := spectral.ClusterBucket(pts, indices, kf, denseCfg, &buf)
+	if err != nil {
+		return err
+	}
+	if denseStats.Solver == spectral.SolverSparseLanczos {
+		return fmt.Errorf("dascbench: dense config chose %s", denseStats.Solver)
+	}
+	_, sparseStats, err := spectral.ClusterBucket(pts, indices, kf, sparseCfg, &buf)
+	if err != nil {
+		return err
+	}
+	if sparseStats.Solver != spectral.SolverSparseLanczos {
+		return fmt.Errorf("dascbench: sparse config chose %s (fill %.3f)",
+			sparseStats.Solver, sparseStats.Fill)
+	}
+	gramFrac := float64(sparseStats.GramBytes) / float64(denseStats.GramBytes)
+
+	var solveErr error
+	add("solve/dense", 0, 0, func() {
+		if _, _, err := spectral.ClusterBucket(pts, indices, kf, denseCfg, &buf); err != nil && solveErr == nil {
+			solveErr = err
+		}
+	})
+	add("solve/sparse", 0, gramFrac, func() {
+		if _, _, err := spectral.ClusterBucket(pts, indices, kf, sparseCfg, &buf); err != nil && solveErr == nil {
+			solveErr = err
+		}
+	})
+	if solveErr != nil {
+		return solveErr
+	}
+	fmt.Printf("solve fill: sparse %.4f (nnz %d), csr/dense bytes %.4f\n",
+		sparseStats.Fill, sparseStats.NNZ, gramFrac)
+	return nil
+}

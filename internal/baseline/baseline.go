@@ -35,6 +35,12 @@ type Result struct {
 	// GramBytes models the similarity-matrix storage at 4 bytes per
 	// entry, the paper's memory metric (Figure 6b).
 	GramBytes int64
+	// NNZ is the number of stored similarity entries the eigensolver
+	// saw: n² for the dense SC path, the t-NN graph size for PSC.
+	NNZ int64
+	// Fill is NNZ divided by n² — 1 for SC, PSC's measured graph
+	// density, comparable to the per-bucket fill DASC reports.
+	Fill float64
 	// Elapsed is the measured wall-clock time.
 	Elapsed time.Duration
 }
@@ -54,9 +60,12 @@ func SC(points *matrix.Dense, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := int64(points.Rows())
 	return &Result{
 		Labels:    res.Labels,
 		GramBytes: kernel.GramBytes(points.Rows()),
+		NNZ:       n * n,
+		Fill:      1,
 		Elapsed:   time.Since(start),
 	}, nil
 }

@@ -247,3 +247,42 @@ func TestKNNGraphSymmetry(t *testing.T) {
 		}
 	}
 }
+
+// TestBaselineSparsityCounters: the baselines must report the entry
+// counts their eigensolvers actually saw — dense n² for SC, the
+// measured t-NN graph for PSC — so memory comparisons against DASC's
+// per-bucket fill use one metric.
+func TestBaselineSparsityCounters(t *testing.T) {
+	l := testBlobs(t, 120, 8, 3, 0.04, 17)
+	n := int64(120)
+
+	sc, err := SC(l.Points, Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NNZ != n*n || sc.Fill != 1 {
+		t.Fatalf("SC counters: nnz=%d fill=%v", sc.NNZ, sc.Fill)
+	}
+
+	psc, err := PSC(l.Points, Config{K: 3, Seed: 2, Neighbors: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psc.NNZ == 0 || psc.NNZ >= n*n {
+		t.Fatalf("PSC nnz = %d, want sparse", psc.NNZ)
+	}
+	if want := float64(psc.NNZ) / float64(n*n); math.Abs(psc.Fill-want) > 1e-15 {
+		t.Fatalf("PSC fill = %v, want %v", psc.Fill, want)
+	}
+	if psc.GramBytes != 8*psc.NNZ {
+		t.Fatalf("PSC GramBytes %d vs 8·nnz %d", psc.GramBytes, 8*psc.NNZ)
+	}
+
+	ny, err := NYST(l.Points, Config{K: 3, Seed: 2, Samples: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ny.NNZ == 0 || ny.Fill <= 0 || ny.Fill >= 1 {
+		t.Fatalf("NYST counters: nnz=%d fill=%v", ny.NNZ, ny.Fill)
+	}
+}

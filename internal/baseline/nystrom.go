@@ -131,9 +131,12 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("baseline: NYST kmeans: %w", err)
 	}
+	stored := int64(n)*int64(m) + int64(m)*int64(m)
 	return &Result{
 		Labels:    km.Labels,
-		GramBytes: 4 * (int64(n)*int64(m) + int64(m)*int64(m)),
+		GramBytes: 4 * stored,
+		NNZ:       stored,
+		Fill:      float64(stored) / (float64(n) * float64(n)),
 		Elapsed:   time.Since(start),
 	}, nil
 }

@@ -65,6 +65,8 @@ func PSC(points *matrix.Dense, cfg Config) (*Result, error) {
 	return &Result{
 		Labels:    res.Labels,
 		GramBytes: graph.Bytes(),
+		NNZ:       int64(graph.NNZ()),
+		Fill:      graph.Fill(),
 		Elapsed:   time.Since(start),
 	}, nil
 }

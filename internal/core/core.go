@@ -72,7 +72,26 @@ type Config struct {
 	// Distributed drivers ship hash parameters to worker processes and
 	// therefore always use the paper's fitted hasher, ignoring Family.
 	Family lsh.Family
+	// SparseCutoff enables the thresholded-CSR solve engine for buckets
+	// with at least this many points. 0 (the default) keeps every bucket
+	// on the dense path, which reproduces pre-engine labels bit for bit.
+	SparseCutoff int
+	// Epsilon is the similarity threshold of the sparse Gram pass:
+	// kernel entries below it are dropped before the eigensolve. Only
+	// consulted when SparseCutoff > 0; must lie in [0, 1).
+	Epsilon float64
 }
+
+// Solver labels for buckets that never reach the spectral engine; the
+// engine's own choices are reported as the spectral.Solver* constants.
+const (
+	// SolverTrivial marks buckets short-circuited without an eigensolve
+	// (single point, single cluster, or one cluster per point).
+	SolverTrivial = "trivial"
+	// SolverKMeansFallback marks buckets whose spectral solve failed and
+	// were clustered by K-means on the raw points instead.
+	SolverKMeansFallback = "kmeans-fallback"
+)
 
 // BucketReport describes one processed bucket.
 type BucketReport struct {
@@ -82,8 +101,18 @@ type BucketReport struct {
 	Size int
 	// K is the number of clusters extracted from this bucket.
 	K int
-	// GramBytes is the bucket's sub-similarity storage at 4 bytes/entry.
+	// GramBytes is the bucket's sub-similarity storage: 4 bytes/entry
+	// for dense solves, the measured CSR footprint for sparse ones.
 	GramBytes int64
+	// Solver names the eigensolver the engine chose for this bucket
+	// (spectral.Solver* constants, SolverTrivial, or SolverKMeansFallback).
+	Solver string
+	// NNZ is the number of stored similarity entries the solver saw.
+	NNZ int64
+	// Fill is NNZ divided by Size².
+	Fill float64
+	// SolveNanos is the bucket's solve wall time in nanoseconds.
+	SolveNanos int64
 }
 
 // Result reports a DASC run.
@@ -101,6 +130,11 @@ type Result struct {
 	SignatureBits int
 	// MergeRadius is the Hamming merge radius actually used.
 	MergeRadius int
+	// SolveNanos is the summed per-bucket solve wall time (the solve
+	// stage's total CPU-side work, independent of scheduling overlap).
+	SolveNanos int64
+	// Solvers counts processed buckets by solver name.
+	Solvers map[string]int
 	// Elapsed is the measured wall-clock time.
 	Elapsed time.Duration
 	// MapReduce aggregates the executor's counters across both
@@ -143,6 +177,12 @@ func (c Config) resolve(n int) (Config, int, error) {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SparseCutoff < 0 {
+		return c, 0, fmt.Errorf("%w: SparseCutoff=%d", ErrBadConfig, c.SparseCutoff)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 || math.IsNaN(c.Epsilon) {
+		return c, 0, fmt.Errorf("%w: Epsilon=%v outside [0,1)", ErrBadConfig, c.Epsilon)
 	}
 	return c, radius, nil
 }
@@ -239,12 +279,12 @@ func solveBucketsParallel(ctx context.Context, p *Plan, part *lsh.Partition) ([]
 					return
 				}
 				b := part.Buckets[bi]
-				labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
+				sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
 				if err != nil {
 					errs[bi] = fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 					continue
 				}
-				sols[bi] = BucketSolution{Labels: labels, K: k}
+				sols[bi] = sol
 			}
 		}()
 	}
@@ -274,37 +314,42 @@ func BucketK(k, ni, n int) int {
 	return ki
 }
 
-// clusterOneBucket runs the per-bucket pipeline: sub-Gram, normalized
-// Laplacian, eigenvectors, K-means. Tiny buckets short-circuit.
+// clusterOneBucket runs the per-bucket pipeline through the spectral
+// solve engine: sub-Gram (dense or thresholded CSR per the engine's
+// policy), normalized Laplacian, eigenvectors, K-means. Tiny buckets
+// short-circuit with SolverTrivial.
 //
-// The sub-Gram is built inside *buf (grown as needed and reused across
-// calls — each worker owns one) and consumed in place: the Laplacian
-// overwrites it, so nothing retains the buffer after the solve. buf may
-// point to a nil slice on first use.
-func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Kernel, buf *[]float64) ([]int, int, error) {
+// Dense sub-Grams are built inside *buf (grown as needed and reused
+// across calls — each worker owns one) and consumed in place: the
+// Laplacian overwrites it, so nothing retains the buffer after the
+// solve. buf may point to a nil slice on first use; sparse solves never
+// touch it.
+func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Kernel, buf *[]float64) (BucketSolution, error) {
 	ni := len(indices)
 	ki := BucketK(cfg.K, ni, n)
 	if ni == 1 || ki == 1 {
-		return make([]int, ni), 1, nil
+		return BucketSolution{Labels: make([]int, ni), K: 1, Solver: SolverTrivial}, nil
 	}
 	if ki == ni {
 		labels := make([]int, ni)
 		for i := range labels {
 			labels[i] = i
 		}
-		return labels, ni, nil
+		return BucketSolution{Labels: labels, K: ni, Solver: SolverTrivial}, nil
 	}
-	if cap(*buf) < ni*ni {
-		*buf = make([]float64, ni*ni)
+	ecfg := spectral.EngineConfig{
+		K:            ki,
+		Seed:         cfg.Seed + int64(indices[0]),
+		SparseCutoff: cfg.SparseCutoff,
+		Epsilon:      cfg.Epsilon,
 	}
-	sub, err := matrix.NewDenseData(ni, ni, (*buf)[:ni*ni])
-	if err != nil {
-		return nil, 0, err
-	}
-	kernel.SubGramInto(sub, points, indices, kf)
-	res, err := spectral.ClusterInPlace(sub, spectral.Config{K: ki, Seed: cfg.Seed + int64(indices[0])})
+	res, stats, err := spectral.ClusterBucket(points, indices, kf, ecfg, buf)
 	if err == nil {
-		return res.Labels, ki, nil
+		return BucketSolution{
+			Labels: res.Labels, K: ki,
+			Solver: stats.Solver, NNZ: stats.NNZ, Fill: stats.Fill,
+			SolveNanos: stats.Nanos, GramBytes: stats.GramBytes,
+		}, nil
 	}
 	// Degenerate sub-Gram (e.g. all-zero similarities): fall back to
 	// K-means on the raw bucket points rather than failing the run.
@@ -314,7 +359,11 @@ func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf
 	}
 	km, kerr := kmeans.Run(bucketPts, kmeans.Config{K: ki, Seed: cfg.Seed})
 	if kerr != nil {
-		return nil, 0, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
+		return BucketSolution{}, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
 	}
-	return km.Labels, ki, nil
+	return BucketSolution{
+		Labels: km.Labels, K: ki,
+		Solver: SolverKMeansFallback, NNZ: stats.NNZ, Fill: stats.Fill,
+		SolveNanos: stats.Nanos, GramBytes: stats.GramBytes,
+	}, nil
 }

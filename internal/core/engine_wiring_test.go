@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// blobPoints builds k well-separated Gaussian blobs of per points each
+// in d dimensions, returning the matrix and the true blob of each row.
+// Separation and noise are chosen so a tight explicit Sigma thresholds
+// cross-blob similarities below epsilon.
+func blobPoints(seed int64, k, per, d int, sep, noise float64) (*matrix.Dense, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := matrix.NewDense(k*per, d)
+	truth := make([]int, k*per)
+	for c := 0; c < k; c++ {
+		for i := 0; i < per; i++ {
+			row := pts.Row(c*per + i)
+			for j := range row {
+				row[j] = float64(c)*sep + noise*rng.NormFloat64()
+			}
+			truth[c*per+i] = c
+		}
+	}
+	return pts, truth
+}
+
+// TestClusterSolveCounters: a default dense run must report a solver
+// for every bucket, and the Result aggregates must equal the per-bucket
+// sums.
+func TestClusterSolveCounters(t *testing.T) {
+	l := mixture(t, 200, 16, 4, 0.02, 31)
+	res, err := Cluster(l.Points, Config{K: 4, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvers == nil {
+		t.Fatal("Solvers map not populated")
+	}
+	counted := 0
+	var nanos int64
+	for _, b := range res.Buckets {
+		if b.Solver == "" {
+			t.Fatalf("bucket %x has no solver label", b.Signature)
+		}
+		if b.Solver == spectral.SolverSparseLanczos {
+			t.Fatalf("default config must never go sparse, bucket %x did", b.Signature)
+		}
+		nanos += b.SolveNanos
+	}
+	for _, c := range res.Solvers {
+		counted += c
+	}
+	if counted != len(res.Buckets) {
+		t.Fatalf("Solvers counts %d buckets, partition has %d", counted, len(res.Buckets))
+	}
+	if nanos != res.SolveNanos {
+		t.Fatalf("SolveNanos %d != bucket sum %d", res.SolveNanos, nanos)
+	}
+}
+
+// TestClusterSparseMode: with a tight bandwidth, few signature bits
+// (big buckets spanning several blobs) and sparse mode on, at least one
+// bucket must solve through the CSR path, shrink the reported Gram
+// storage below the dense total, and still recover the blobs.
+func TestClusterSparseMode(t *testing.T) {
+	pts, truth := blobPoints(41, 8, 100, 16, 12, 0.3)
+	cfg := Config{K: 8, M: 1, Sigma: 1.0, Seed: 42, SparseCutoff: 128, Epsilon: 1e-4}
+	res, err := Cluster(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solvers[spectral.SolverSparseLanczos] == 0 {
+		t.Fatalf("no bucket took the sparse path: %v", res.Solvers)
+	}
+	var dense int64
+	for _, b := range res.Buckets {
+		dense += 4 * int64(b.Size) * int64(b.Size)
+		if b.Solver == spectral.SolverSparseLanczos {
+			if b.NNZ == 0 || b.Fill <= 0 || b.Fill > spectral.MaxSparseFill {
+				t.Fatalf("sparse bucket stats: %+v", b)
+			}
+			if b.GramBytes >= 4*int64(b.Size)*int64(b.Size) {
+				t.Fatalf("sparse bucket %x stores %d bytes, dense is %d", b.Signature, b.GramBytes, 4*int64(b.Size)*int64(b.Size))
+			}
+		}
+	}
+	if res.GramBytes >= dense {
+		t.Fatalf("sparse run Gram %d not below dense %d", res.GramBytes, dense)
+	}
+	acc, err := metricsAccuracy(truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("sparse-mode accuracy = %v", acc)
+	}
+}
+
+// TestClusterSparseModeWorkerInvariant: the sparse engine's labels and
+// solver policy must not depend on the worker count.
+func TestClusterSparseModeWorkerInvariant(t *testing.T) {
+	pts, _ := blobPoints(51, 8, 80, 12, 10, 0.3)
+	cfg := Config{K: 8, M: 1, Sigma: 1.0, Seed: 52, SparseCutoff: 128, Epsilon: 1e-4}
+	cfg.Workers = 1
+	base, err := Cluster(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Workers = workers
+		res, err := Cluster(pts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Labels {
+			if res.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] = %d vs %d", workers, i, res.Labels[i], base.Labels[i])
+			}
+		}
+		for bi, b := range res.Buckets {
+			want := base.Buckets[bi]
+			if b.Solver != want.Solver || b.NNZ != want.NNZ || b.GramBytes != want.GramBytes {
+				t.Fatalf("workers=%d: bucket %x policy drifted: %+v vs %+v", workers, b.Signature, b, want)
+			}
+		}
+	}
+}
+
+// TestResolveValidatesEngineConfig: the solve-engine knobs are
+// validated with the rest of the configuration.
+func TestResolveValidatesEngineConfig(t *testing.T) {
+	l := mixture(t, 20, 4, 2, 0.05, 61)
+	bad := []Config{
+		{K: 2, SparseCutoff: -1},
+		{K: 2, Epsilon: -0.1},
+		{K: 2, Epsilon: 1.0},
+	}
+	for _, cfg := range bad {
+		if _, err := Cluster(l.Points, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("cfg %+v: err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+// TestMapReduceCarriesSolverStats: both MapReduce formulations must
+// report the same per-bucket solver stats as the local driver — the
+// stats travel as length-distinguished stage-2 records.
+func TestMapReduceCarriesSolverStats(t *testing.T) {
+	pts, _ := blobPoints(71, 8, 60, 12, 10, 0.3)
+	cfg := Config{K: 8, M: 1, Sigma: 1.0, Seed: 72, SparseCutoff: 128, Epsilon: 1e-4}
+	local, err := Cluster(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Solvers[spectral.SolverSparseLanczos] == 0 {
+		t.Fatalf("fixture never goes sparse: %v", local.Solvers)
+	}
+	viaMR, err := ClusterMapReduce(pts, cfg, &mapreduce.Local{Workers: 3}, "test-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaShipped, err := ClusterMapReduceShipped(pts, cfg, &mapreduce.Local{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"mapreduce": viaMR, "shipped": viaShipped} {
+		if res.GramBytes != local.GramBytes {
+			t.Fatalf("%s: GramBytes %d vs local %d", name, res.GramBytes, local.GramBytes)
+		}
+		for bi, b := range res.Buckets {
+			want := local.Buckets[bi]
+			if b.Solver != want.Solver || b.NNZ != want.NNZ || b.Fill != want.Fill || b.GramBytes != want.GramBytes {
+				t.Fatalf("%s: bucket %x stats %+v, local %+v", name, b.Signature, b, want)
+			}
+			if b.SolveNanos <= 0 && b.Solver != SolverTrivial {
+				t.Fatalf("%s: bucket %x missing solve time", name, b.Signature)
+			}
+		}
+		for solver, count := range local.Solvers {
+			if res.Solvers[solver] != count {
+				t.Fatalf("%s: Solvers[%s] = %d, local %d", name, solver, res.Solvers[solver], count)
+			}
+		}
+	}
+}
+
+// TestBucketStatsCodecRoundTrip pins the wire format of the stats
+// record, including its length-based separation from label records.
+func TestBucketStatsCodecRoundTrip(t *testing.T) {
+	in := BucketSolution{
+		Solver: spectral.SolverSparseLanczos,
+		NNZ:    12345, Fill: 0.17, SolveNanos: 987654321, GramBytes: 98760,
+	}
+	blob := encodeBucketStats(in)
+	if len(blob) < bucketStatsLen || len(blob) == 12 {
+		t.Fatalf("stats record length %d collides with label records", len(blob))
+	}
+	var out BucketSolution
+	decodeBucketStats(blob, &out)
+	if out.Solver != in.Solver || out.NNZ != in.NNZ || out.Fill != in.Fill ||
+		out.SolveNanos != in.SolveNanos || out.GramBytes != in.GramBytes {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}

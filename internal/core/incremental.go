@@ -73,6 +73,8 @@ func (*incrementalRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, er
 
 func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
 	n := p.Points.Rows()
+	// Waves are packed against the dense worst case; a sparse solve only
+	// shrinks what is actually resident, so the budget still holds.
 	gramOf := func(bi int) int64 {
 		ni := int64(len(part.Buckets[bi].Indices))
 		return 4 * ni * ni
@@ -125,15 +127,15 @@ func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partit
 				return nil, fmt.Errorf("core: incremental: %w", err)
 			}
 			b := part.Buckets[bi]
-			labels, k, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
+			sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 			}
-			if k != kOf[bi] {
+			if sol.K != kOf[bi] {
 				return nil, fmt.Errorf("core: bucket %x produced %d clusters, planned %d",
-					b.Signature, k, kOf[bi])
+					b.Signature, sol.K, kOf[bi])
 			}
-			sols[bi] = BucketSolution{Labels: labels, K: k}
+			sols[bi] = sol
 		}
 	}
 	return sols, nil

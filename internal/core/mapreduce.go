@@ -104,23 +104,39 @@ func signaturesFromPairs(sigPairs []mapreduce.Pair, n int) ([]uint64, error) {
 	return sigs, nil
 }
 
-// solutionsFromLabelPairs converts stage-2 output records
-// ((bucketSig, [pointIndex, localLabel, k]) triples) back into
+// solutionsFromLabelPairs converts stage-2 output records back into
 // per-bucket solutions aligned with the partition — the inverse of the
-// reducers' per-point emission, shared by both MapReduce runners. The
-// shared assembly path then offsets them exactly like every other
-// runner's solutions.
+// reducers' emission, shared by both MapReduce runners. Two record
+// kinds share the stream, distinguished by length: 12-byte per-point
+// (pointIndex, localLabel, k) triples and the longer per-bucket solver
+// stats records, both keyed by the bucket signature. The shared
+// assembly path then offsets the solutions exactly like every other
+// runner's.
 func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int) ([]BucketSolution, error) {
 	type slot struct{ bucket, pos int }
 	where := make(map[int]slot, n)
+	sigOf := make(map[uint64]int, len(part.Buckets))
 	sols := make([]BucketSolution, len(part.Buckets))
 	for bi, b := range part.Buckets {
 		sols[bi].Labels = make([]int, len(b.Indices))
+		sigOf[b.Signature] = bi
 		for pi, idx := range b.Indices {
 			where[idx] = slot{bi, pi}
 		}
 	}
 	for _, p := range pairs {
+		if len(p.Value) >= bucketStatsLen {
+			sig, err := strconv.ParseUint(p.Key, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad stats key %q: %w", p.Key, err)
+			}
+			bi, ok := sigOf[sig]
+			if !ok {
+				return nil, fmt.Errorf("core: stats for unknown bucket %x", sig)
+			}
+			decodeBucketStats(p.Value, &sols[bi])
+			continue
+		}
 		if len(p.Value) != 12 {
 			return nil, fmt.Errorf("core: label payload length %d", len(p.Value))
 		}
@@ -133,6 +149,34 @@ func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int)
 		sols[s.bucket].K = k
 	}
 	return sols, nil
+}
+
+// bucketStatsLen is the fixed prefix of a stats record: NNZ, Fill bits,
+// SolveNanos, GramBytes as little-endian uint64s, followed by the
+// solver name. Always longer than the 12-byte label records, so record
+// kinds are length-distinguished.
+const bucketStatsLen = 32
+
+// encodeBucketStats packs a solution's solver accounting into one
+// stage-2 output record.
+func encodeBucketStats(s BucketSolution) []byte {
+	buf := make([]byte, bucketStatsLen+len(s.Solver))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(s.NNZ))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(s.Fill))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.SolveNanos))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(s.GramBytes))
+	copy(buf[bucketStatsLen:], s.Solver)
+	return buf
+}
+
+// decodeBucketStats unpacks a stats record into the solution's
+// accounting fields, leaving Labels and K untouched.
+func decodeBucketStats(buf []byte, s *BucketSolution) {
+	s.NNZ = int64(binary.LittleEndian.Uint64(buf[0:]))
+	s.Fill = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+	s.SolveNanos = int64(binary.LittleEndian.Uint64(buf[16:]))
+	s.GramBytes = int64(binary.LittleEndian.Uint64(buf[24:]))
+	s.Solver = string(buf[bucketStatsLen:])
 }
 
 // LSHJob builds the stage-1 MapReduce job (Algorithm 1): the mapper
@@ -191,13 +235,14 @@ func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) 
 				if err != nil {
 					return err
 				}
-				labels, k, err := clusterOneBucket(points, indices, cfg, n, kf, &scratch)
+				sol, err := clusterOneBucket(points, indices, cfg, n, kf, &scratch)
 				if err != nil {
 					return err
 				}
 				for pi, idx := range indices {
-					emit(key, encodeLabel(idx, labels[pi], k))
+					emit(key, encodeLabel(idx, sol.Labels[pi], sol.K))
 				}
+				emit(key, encodeBucketStats(sol))
 			}
 			return nil
 		},

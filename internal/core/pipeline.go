@@ -48,11 +48,18 @@ type Plan struct {
 }
 
 // BucketSolution is the solve stage's output for one bucket: local
-// cluster ids per bucket point (bucket order) and the number of
-// clusters extracted.
+// cluster ids per bucket point (bucket order), the number of clusters
+// extracted, and the solve engine's accounting. Solver/NNZ/Fill/
+// SolveNanos/GramBytes mirror the BucketReport fields; a zero GramBytes
+// makes assembly fall back to the dense 4·Size² estimate.
 type BucketSolution struct {
-	Labels []int
-	K      int
+	Labels     []int
+	K          int
+	Solver     string
+	NNZ        int64
+	Fill       float64
+	SolveNanos int64
+	GramBytes  int64
 }
 
 // Runner executes the backend-specific pipeline stages. Implementations
@@ -179,14 +186,30 @@ func assembleSolutions(part *lsh.Partition, sols []BucketSolution, n int) (*Resu
 			}
 			res.Labels[idx] = offset + s.Labels[pos]
 		}
-		gb := 4 * int64(len(b.Indices)) * int64(len(b.Indices))
+		gb := s.GramBytes
+		if gb == 0 {
+			// Trivial buckets and solvers that predate the stats record
+			// report the dense footprint, matching the pre-engine metric.
+			gb = 4 * int64(len(b.Indices)) * int64(len(b.Indices))
+		}
 		res.Buckets = append(res.Buckets, BucketReport{
-			Signature: b.Signature,
-			Size:      len(b.Indices),
-			K:         s.K,
-			GramBytes: gb,
+			Signature:  b.Signature,
+			Size:       len(b.Indices),
+			K:          s.K,
+			GramBytes:  gb,
+			Solver:     s.Solver,
+			NNZ:        s.NNZ,
+			Fill:       s.Fill,
+			SolveNanos: s.SolveNanos,
 		})
 		res.GramBytes += gb
+		res.SolveNanos += s.SolveNanos
+		if s.Solver != "" {
+			if res.Solvers == nil {
+				res.Solvers = make(map[string]int)
+			}
+			res.Solvers[s.Solver]++
+		}
 		offset += s.K
 	}
 	res.Clusters = offset

@@ -44,12 +44,16 @@ type lshConf struct {
 	Thresholds []float64
 }
 
-// clusterConf is the stage-2 configuration.
+// clusterConf is the stage-2 configuration. SparseCutoff and Epsilon
+// travel with the job so remote workers apply the driver's solve-engine
+// policy; zero values reproduce the dense path exactly.
 type clusterConf struct {
-	N     int
-	K     int
-	Sigma float64
-	Seed  int64
+	N            int
+	K            int
+	Sigma        float64
+	Seed         int64
+	SparseCutoff int
+	Epsilon      float64
 }
 
 // bucketPayload is one stage-2 record: a bucket's points shipped by
@@ -149,47 +153,64 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 				if err != nil {
 					return err
 				}
-				labels, k, err := clusterShippedBucket(pts, c, payload.Indices)
+				sol, err := clusterShippedBucket(pts, c, payload.Indices)
 				if err != nil {
 					return err
 				}
 				for pos, idx := range payload.Indices {
-					emit(key, encodeLabel(int(idx), labels[pos], k))
+					emit(key, encodeLabel(int(idx), sol.Labels[pos], sol.K))
 				}
+				emit(key, encodeBucketStats(sol))
 			}
 			return nil
 		},
 	}, nil
 }
 
-// clusterShippedBucket mirrors clusterOneBucket on a shipped bucket.
-func clusterShippedBucket(pts *matrix.Dense, c clusterConf, indices []int32) ([]int, int, error) {
+// clusterShippedBucket mirrors clusterOneBucket on a shipped bucket,
+// routing through the same solve engine so the worker applies the
+// driver's sparse policy and reports the same per-bucket stats.
+func clusterShippedBucket(pts *matrix.Dense, c clusterConf, indices []int32) (BucketSolution, error) {
 	ni := pts.Rows()
 	ki := BucketK(c.K, ni, c.N)
 	if ni == 1 || ki == 1 {
-		return make([]int, ni), 1, nil
+		return BucketSolution{Labels: make([]int, ni), K: 1, Solver: SolverTrivial}, nil
 	}
 	if ki == ni {
 		labels := make([]int, ni)
 		for i := range labels {
 			labels[i] = i
 		}
-		return labels, ni, nil
+		return BucketSolution{Labels: labels, K: ni, Solver: SolverTrivial}, nil
 	}
 	all := make([]int, ni)
 	for i := range all {
 		all[i] = i
 	}
-	sub := kernel.SubGram(pts, all, kernel.NewGaussian(c.Sigma))
-	res, err := spectral.ClusterInPlace(sub, spectral.Config{K: ki, Seed: c.Seed + int64(indices[0])})
+	ecfg := spectral.EngineConfig{
+		K:            ki,
+		Seed:         c.Seed + int64(indices[0]),
+		SparseCutoff: c.SparseCutoff,
+		Epsilon:      c.Epsilon,
+	}
+	var scratch []float64
+	res, stats, err := spectral.ClusterBucket(pts, all, kernel.NewGaussian(c.Sigma), ecfg, &scratch)
 	if err == nil {
-		return res.Labels, ki, nil
+		return BucketSolution{
+			Labels: res.Labels, K: ki,
+			Solver: stats.Solver, NNZ: stats.NNZ, Fill: stats.Fill,
+			SolveNanos: stats.Nanos, GramBytes: stats.GramBytes,
+		}, nil
 	}
 	km, kerr := kmeans.Run(pts, kmeans.Config{K: ki, Seed: c.Seed})
 	if kerr != nil {
-		return nil, 0, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
+		return BucketSolution{}, fmt.Errorf("spectral (%v) and kmeans fallback (%v) both failed", err, kerr)
 	}
-	return km.Labels, ki, nil
+	return BucketSolution{
+		Labels: km.Labels, K: ki,
+		Solver: SolverKMeansFallback, NNZ: stats.NNZ, Fill: stats.Fill,
+		SolveNanos: stats.Nanos, GramBytes: stats.GramBytes,
+	}, nil
 }
 
 // encodeVector packs a float64 vector little-endian.
@@ -268,7 +289,10 @@ func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, erro
 
 func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
 	n := p.Points.Rows()
-	clusterBlob, err := gobEncode(clusterConf{N: n, K: p.Cfg.K, Sigma: p.Sigma, Seed: p.Cfg.Seed})
+	clusterBlob, err := gobEncode(clusterConf{
+		N: n, K: p.Cfg.K, Sigma: p.Sigma, Seed: p.Cfg.Seed,
+		SparseCutoff: p.Cfg.SparseCutoff, Epsilon: p.Cfg.Epsilon,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -80,23 +80,11 @@ func runBuckets(ctx context.Context, part *lsh.Partition, solve func(bi int, scr
 
 // subGramInto builds the bucket's sub-Gram inside *scratch (grown as
 // needed) and optionally completes the diagonal with the true
-// self-similarities k(x,x) that SVM and kernel PCA require.
+// self-similarities k(x,x) that SVM and kernel PCA require. It is the
+// shared pooled builder from internal/kernel — the same code the
+// spectral solve engine's dense path uses.
 func subGramInto(points *matrix.Dense, indices []int, kf kernel.Kernel, scratch *[]float64, withDiagonal bool) (*matrix.Dense, error) {
-	ni := len(indices)
-	if cap(*scratch) < ni*ni {
-		*scratch = make([]float64, ni*ni)
-	}
-	sub, err := matrix.NewDenseData(ni, ni, (*scratch)[:ni*ni])
-	if err != nil {
-		return nil, err
-	}
-	kernel.SubGramInto(sub, points, indices, kf)
-	if withDiagonal {
-		for i, idx := range indices {
-			sub.Set(i, i, kf.Eval(points.Row(idx), points.Row(idx)))
-		}
-	}
-	return sub, nil
+	return kernel.SubGramPooled(points, indices, kf, scratch, withDiagonal)
 }
 
 // BucketedKernelKMeans runs kernel k-means inside every bucket of the

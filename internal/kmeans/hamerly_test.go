@@ -1,0 +1,250 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// referenceLloyd is the pre-bounds implementation, kept verbatim as the
+// oracle: full assignment scan every iteration, sequential centroid
+// accumulation, separate final inertia sweep. The bounded production
+// path must reproduce its labels bit for bit.
+func referenceLloyd(points *matrix.Dense, cfg Config) *Result {
+	n := points.Rows()
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := points.Cols()
+	centroids := seedPlusPlus(points, cfg.K, rng)
+	labels := make([]int, n)
+	counts := make([]int, cfg.K)
+	sums := matrix.NewDense(cfg.K, d)
+	assign := func() {
+		k := centroids.Rows()
+		for i := 0; i < n; i++ {
+			p := points.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := matrix.SqDist(p, centroids.Row(c)); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			labels[i] = best
+		}
+	}
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		assign()
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range sums.Data() {
+			sums.Data()[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			row := sums.Row(c)
+			for j, v := range points.Row(i) {
+				row[j] += v
+			}
+		}
+		var moved float64
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				far := farthestPoint(points, centroids, labels)
+				copy(sums.Row(c), points.Row(far))
+				counts[c] = 1
+				labels[far] = c
+			}
+			inv := 1 / float64(counts[c])
+			newRow := sums.Row(c)
+			oldRow := centroids.Row(c)
+			var delta float64
+			for j := range newRow {
+				v := newRow[j] * inv
+				dv := v - oldRow[j]
+				delta += dv * dv
+				oldRow[j] = v
+			}
+			moved += math.Sqrt(delta)
+		}
+		if moved < cfg.Tol {
+			iter++
+			break
+		}
+	}
+	assign()
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += matrix.SqDist(points.Row(i), centroids.Row(labels[i]))
+	}
+	return &Result{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}
+}
+
+// TestBoundedMatchesReferenceLloyd: across a spread of shapes and
+// seeds, the Hamerly-accelerated Run must produce the exact labels,
+// centroid bits, and iteration count of the unaccelerated oracle.
+func TestBoundedMatchesReferenceLloyd(t *testing.T) {
+	cases := []struct {
+		n, d, k int
+		sep     float64
+	}{
+		{60, 4, 3, 10},   // well-separated: skips dominate
+		{90, 3, 5, 1.0},  // heavy overlap: ties in space, scans dominate
+		{200, 8, 7, 2.5}, // mid-size, moderate separation
+		{64, 2, 8, 0.5},  // many clusters, crowded plane
+		{50, 5, 50, 3},   // k == n degenerate
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed * 131))
+			pts := matrix.NewDense(tc.n, tc.d)
+			for i := 0; i < tc.n; i++ {
+				row := pts.Row(i)
+				c := i % tc.k
+				for j := range row {
+					row[j] = float64(c)*tc.sep + rng.NormFloat64()
+				}
+			}
+			cfg := Config{K: tc.k, Seed: seed, Workers: 1}
+			got, err := Run(pts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceLloyd(pts, cfg)
+			if got.Iterations != want.Iterations {
+				t.Fatalf("n=%d k=%d seed=%d: iterations %d vs %d", tc.n, tc.k, seed, got.Iterations, want.Iterations)
+			}
+			for i := range want.Labels {
+				if got.Labels[i] != want.Labels[i] {
+					t.Fatalf("n=%d k=%d seed=%d: label[%d] = %d, oracle %d",
+						tc.n, tc.k, seed, i, got.Labels[i], want.Labels[i])
+				}
+			}
+			gd, wd := got.Centroids.Data(), want.Centroids.Data()
+			for i := range wd {
+				if gd[i] != wd[i] {
+					t.Fatalf("n=%d k=%d seed=%d: centroid bit drift at %d: %v vs %v",
+						tc.n, tc.k, seed, i, gd[i], wd[i])
+				}
+			}
+			if math.Abs(got.Inertia-want.Inertia) > 1e-9*(1+want.Inertia) {
+				t.Fatalf("inertia %v vs oracle %v", got.Inertia, want.Inertia)
+			}
+		}
+	}
+}
+
+// TestRunWorkerDeterminismWithInertia: labels AND inertia bits must not
+// depend on the worker count — the inertia fold reduces fixed-block
+// partials in block order regardless of parallelism.
+func TestRunWorkerDeterminismWithInertia(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := matrix.NewDense(1200, 6)
+	for i := range pts.Data() {
+		pts.Data()[i] = rng.NormFloat64()
+	}
+	base, err := Run(pts, Config{K: 9, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		res, err := Run(pts, Config{K: 9, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Labels {
+			if res.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] = %d vs %d", workers, i, res.Labels[i], base.Labels[i])
+			}
+		}
+		if res.Inertia != base.Inertia {
+			t.Fatalf("workers=%d: inertia %v vs %v (must be bitwise equal)", workers, res.Inertia, base.Inertia)
+		}
+	}
+}
+
+// TestParallelCentroidUpdate exercises the fixed-block parallel
+// accumulation by lowering the cutoff, checking it agrees with the
+// sequential path on counts and sums within summation-order tolerance
+// and stays worker-count deterministic.
+func TestParallelCentroidUpdate(t *testing.T) {
+	old := parallelUpdateCutoff
+	parallelUpdateCutoff = 64
+	defer func() { parallelUpdateCutoff = old }()
+
+	rng := rand.New(rand.NewSource(13))
+	pts := matrix.NewDense(700, 5)
+	for i := range pts.Data() {
+		pts.Data()[i] = rng.NormFloat64()
+	}
+	seq, err := Run(pts, Config{K: 6, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Result
+	for _, workers := range []int{2, 4, 7} {
+		res, err := Run(pts, Config{K: 6, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+		} else {
+			for i := range first.Labels {
+				if res.Labels[i] != first.Labels[i] {
+					t.Fatalf("workers=%d: parallel update not deterministic at %d", workers, i)
+				}
+			}
+			if res.Inertia != first.Inertia {
+				t.Fatalf("workers=%d: inertia %v vs %v", workers, res.Inertia, first.Inertia)
+			}
+		}
+		// Block-order reduction reorders float additions, so the
+		// parallel-update solution may differ from the sequential one in
+		// low bits — but it must be the same clustering.
+		if !agreeUpToPermutation(seq.Labels, res.Labels) {
+			t.Fatalf("workers=%d: parallel update changed the clustering", workers)
+		}
+	}
+}
+
+// TestAccumulateParallelMatchesSequential pins the parallel partial-sum
+// reduction against the sequential accumulation directly.
+func TestAccumulateParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n, k, d := 900, 7, 4
+	pts := matrix.NewDense(n, d)
+	for i := range pts.Data() {
+		pts.Data()[i] = rng.NormFloat64()
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	seqCounts := make([]int, k)
+	seqSums := matrix.NewDense(k, d)
+	accumulate(pts, labels, seqCounts, seqSums, 1, nil)
+
+	parCounts := make([]int, k)
+	parSums := matrix.NewDense(k, d)
+	accumulate(pts, labels, parCounts, parSums, 4, newUpdateScratch(n, k, d))
+	for c := 0; c < k; c++ {
+		if parCounts[c] != seqCounts[c] {
+			t.Fatalf("count[%d] = %d vs %d", c, parCounts[c], seqCounts[c])
+		}
+		for j := 0; j < d; j++ {
+			if math.Abs(parSums.At(c, j)-seqSums.At(c, j)) > 1e-10*(1+math.Abs(seqSums.At(c, j))) {
+				t.Fatalf("sum[%d][%d] = %v vs %v", c, j, parSums.At(c, j), seqSums.At(c, j))
+			}
+		}
+	}
+}

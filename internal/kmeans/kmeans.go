@@ -1,9 +1,19 @@
 // Package kmeans implements Lloyd's algorithm with k-means++ seeding,
 // the final step of every spectral-clustering variant in the paper
 // (SC, PSC, NYST and DASC all run K-means on rows of the eigenvector
-// matrix). The assignment step is parallelized across goroutines, and
-// empty clusters are repaired by re-seeding from the point farthest
-// from its centroid.
+// matrix). The assignment step keeps Hamerly-style upper/lower distance
+// bounds so converged points skip the full centroid scan, the centroid
+// update goes parallel with deterministic partial sums for large
+// inputs, and the final inertia is folded into the last assignment pass
+// instead of a separate full sweep. Empty clusters are repaired by
+// re-seeding from the point farthest from its centroid.
+//
+// The bounds are used only with strict, slightly padded inequalities,
+// so every produced label is exactly the label a full Lloyd scan with
+// ascending-index tie-breaking would produce — the skip fires only when
+// the assigned centroid is provably the unique strict minimizer. This
+// keeps labels byte-identical to the plain implementation, which the
+// DASC determinism guarantees rest on.
 package kmeans
 
 import (
@@ -13,6 +23,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -49,6 +60,87 @@ type Result struct {
 // ErrBadK is returned when K is out of range for the dataset.
 var ErrBadK = errors.New("kmeans: K out of range")
 
+const (
+	// assignBlockRows is the fixed row-block edge of the parallel
+	// assignment and inertia passes. Blocks never depend on the worker
+	// count, and block partials are reduced in block order, so inertia
+	// bits are identical for every parallelism level.
+	assignBlockRows = 256
+	// updateBlockRows is the fixed row-block edge of the parallel
+	// centroid update.
+	updateBlockRows = 256
+	// boundsPad slightly shrinks the bound-skip region to absorb the
+	// ulp-level rounding the drifted bounds accumulate, keeping the
+	// skip decisions provably label-preserving.
+	boundsPad = 1 + 1e-10
+)
+
+// parallelUpdateCutoff is the point count at which the centroid update
+// switches from the verbatim sequential accumulation to fixed-block
+// parallel partial sums. Below it the sequential path runs, whose
+// summation order (and therefore every centroid bit) matches the
+// historical implementation exactly. A var so tests can lower it.
+var parallelUpdateCutoff = 4096
+
+// boundsState carries the Hamerly bookkeeping across iterations.
+type boundsState struct {
+	upper    []float64 // per point: upper bound on distance to its centroid
+	lower    []float64 // per point: lower bound on distance to any other centroid
+	half     []float64 // per centroid: half the distance to the nearest other centroid
+	moveDist []float64 // per centroid: movement of the last update
+}
+
+func newBoundsState(n, k int) *boundsState {
+	st := &boundsState{
+		upper:    make([]float64, n),
+		lower:    make([]float64, n),
+		half:     make([]float64, k),
+		moveDist: make([]float64, k),
+	}
+	for i := range st.upper {
+		st.upper[i] = math.Inf(1) // force a full scan on the first pass
+	}
+	return st
+}
+
+// refreshHalf recomputes, for every centroid, half the distance to the
+// nearest other centroid — O(k^2 d), negligible next to the O(n k d)
+// scans it prevents.
+func (st *boundsState) refreshHalf(centroids *matrix.Dense) {
+	k := centroids.Rows()
+	for c := range st.half {
+		st.half[c] = math.Inf(1)
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			h := 0.5 * math.Sqrt(matrix.SqDist(centroids.Row(a), centroids.Row(b)))
+			if h < st.half[a] {
+				st.half[a] = h
+			}
+			if h < st.half[b] {
+				st.half[b] = h
+			}
+		}
+	}
+}
+
+// drift loosens every point's bounds by the centroid movements of one
+// update: the own centroid may have moved toward the point, any other
+// centroid at most maxMove closer.
+func (st *boundsState) drift(labels []int, maxMove float64) {
+	for i, c := range labels {
+		st.upper[i] += st.moveDist[c]
+		st.lower[i] -= maxMove
+	}
+}
+
+// reset invalidates point i's bounds after a repair teleported its
+// centroid onto it: distance zero, no knowledge of the runner-up.
+func (st *boundsState) reset(i int) {
+	st.upper[i] = 0
+	st.lower[i] = 0
+}
+
 // Run clusters the rows of points into cfg.K clusters.
 func Run(points *matrix.Dense, cfg Config) (*Result, error) {
 	n := points.Rows()
@@ -71,27 +163,19 @@ func Run(points *matrix.Dense, cfg Config) (*Result, error) {
 	labels := make([]int, n)
 	counts := make([]int, cfg.K)
 	sums := matrix.NewDense(cfg.K, d)
+	st := newBoundsState(n, cfg.K)
+	var upd *updateScratch
+	if n >= parallelUpdateCutoff && cfg.Workers > 1 {
+		upd = newUpdateScratch(n, cfg.K, d)
+	}
 
 	var iter int
 	for iter = 0; iter < cfg.MaxIter; iter++ {
-		assignParallel(points, centroids, labels, cfg.Workers)
+		st.refreshHalf(centroids)
+		assignBounded(points, centroids, labels, st, cfg.Workers, nil)
+		accumulate(points, labels, counts, sums, cfg.Workers, upd)
 
-		// Recompute centroids.
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := range sums.Data() {
-			sums.Data()[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			c := labels[i]
-			counts[c]++
-			row := sums.Row(c)
-			for j, v := range points.Row(i) {
-				row[j] += v
-			}
-		}
-		var moved float64
+		var moved, maxMove float64
 		for c := 0; c < cfg.K; c++ {
 			if counts[c] == 0 {
 				// Empty cluster: reseed at the point farthest from its
@@ -100,6 +184,7 @@ func Run(points *matrix.Dense, cfg Config) (*Result, error) {
 				copy(sums.Row(c), points.Row(far))
 				counts[c] = 1
 				labels[far] = c
+				st.reset(far)
 			}
 			inv := 1 / float64(counts[c])
 			newRow := sums.Row(c)
@@ -111,20 +196,220 @@ func Run(points *matrix.Dense, cfg Config) (*Result, error) {
 				delta += dv * dv
 				oldRow[j] = v
 			}
-			moved += math.Sqrt(delta)
+			move := math.Sqrt(delta)
+			st.moveDist[c] = move
+			moved += move
+			if move > maxMove {
+				maxMove = move
+			}
 		}
+		st.drift(labels, maxMove)
 		if moved < cfg.Tol {
 			iter++
 			break
 		}
 	}
-	assignParallel(points, centroids, labels, cfg.Workers)
-
+	// Final assignment with the inertia fold: one pass produces both the
+	// labels for the converged centroids and the exact summed squared
+	// distances, replacing the historical separate full-data sweep.
+	st.refreshHalf(centroids)
+	partials := make([]float64, (n+assignBlockRows-1)/assignBlockRows)
+	assignBounded(points, centroids, labels, st, cfg.Workers, partials)
 	var inertia float64
-	for i := 0; i < n; i++ {
-		inertia += matrix.SqDist(points.Row(i), centroids.Row(labels[i]))
+	for _, v := range partials {
+		inertia += v
 	}
 	return &Result{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
+}
+
+// assignBounded writes the index of the nearest centroid for every
+// point into labels, using the Hamerly bounds to skip points whose
+// assigned centroid is provably still the unique strict minimizer.
+// Points that cannot be skipped run the verbatim full Lloyd scan
+// (strict d < best, ascending centroid index), so the resulting labels
+// are identical to the unaccelerated algorithm's.
+//
+// When inertiaPartials is non-nil it receives one partial per fixed
+// 256-row block — the exact squared distance of each point to its final
+// centroid, accumulated in row order. Summing the partials in block
+// order yields an inertia that is bitwise independent of the worker
+// count.
+func assignBounded(points, centroids *matrix.Dense, labels []int, st *boundsState, workers int, inertiaPartials []float64) {
+	n := points.Rows()
+	nb := (n + assignBlockRows - 1) / assignBlockRows
+	k := centroids.Rows()
+
+	oneBlock := func(b int) {
+		lo := b * assignBlockRows
+		hi := lo + assignBlockRows
+		if hi > n {
+			hi = n
+		}
+		var acc float64
+		for i := lo; i < hi; i++ {
+			a := labels[i]
+			p := points.Row(i)
+			u, l := st.upper[i], st.lower[i]
+			d2 := math.NaN() // squared distance to the assigned centroid, when known exactly
+			if !(u*boundsPad < l || u*boundsPad < st.half[a]) {
+				// Bounds too loose: tighten the upper bound to the exact
+				// distance and re-test before paying for the full scan.
+				d2 = matrix.SqDist(p, centroids.Row(a))
+				u = math.Sqrt(d2)
+				st.upper[i] = u
+				if !(u*boundsPad < l || u*boundsPad < st.half[a]) {
+					best, bestD := 0, math.Inf(1)
+					secondD := math.Inf(1)
+					for c := 0; c < k; c++ {
+						if dd := matrix.SqDist(p, centroids.Row(c)); dd < bestD {
+							best, bestD, secondD = c, dd, bestD
+						} else if dd < secondD {
+							secondD = dd
+						}
+					}
+					labels[i] = best
+					st.upper[i] = math.Sqrt(bestD)
+					st.lower[i] = math.Sqrt(secondD)
+					d2 = bestD
+				}
+			}
+			if inertiaPartials != nil {
+				if math.IsNaN(d2) {
+					d2 = matrix.SqDist(p, centroids.Row(labels[i]))
+				}
+				acc += d2
+			}
+		}
+		if inertiaPartials != nil {
+			inertiaPartials[b] = acc
+		}
+	}
+
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 || n < assignBlockRows*2 {
+		for b := 0; b < nb; b++ {
+			oneBlock(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				oneBlock(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// updateScratch holds the fixed per-block partial counts and sums of
+// the parallel centroid update.
+type updateScratch struct {
+	nb     int
+	counts []int     // nb x k
+	sums   []float64 // nb x (k*d)
+}
+
+func newUpdateScratch(n, k, d int) *updateScratch {
+	nb := (n + updateBlockRows - 1) / updateBlockRows
+	return &updateScratch{
+		nb:     nb,
+		counts: make([]int, nb*k),
+		sums:   make([]float64, nb*k*d),
+	}
+}
+
+// accumulate recomputes counts and sums from the current labels. Small
+// inputs (or upd == nil) take the historical sequential loop, whose
+// summation order the default configurations depend on bitwise. Large
+// inputs accumulate per fixed 256-row block on a worker pool and reduce
+// the block partials in block order — parallel, yet every sum bit is
+// independent of the worker count.
+func accumulate(points *matrix.Dense, labels []int, counts []int, sums *matrix.Dense, workers int, upd *updateScratch) {
+	n := points.Rows()
+	k := len(counts)
+	d := sums.Cols()
+	for i := range counts {
+		counts[i] = 0
+	}
+	data := sums.Data()
+	for i := range data {
+		data[i] = 0
+	}
+	if upd == nil || workers <= 1 {
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			row := sums.Row(c)
+			for j, v := range points.Row(i) {
+				row[j] += v
+			}
+		}
+		return
+	}
+
+	nb := upd.nb
+	for i := range upd.counts {
+		upd.counts[i] = 0
+	}
+	for i := range upd.sums {
+		upd.sums[i] = 0
+	}
+	if workers > nb {
+		workers = nb
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * updateBlockRows
+				hi := lo + updateBlockRows
+				if hi > n {
+					hi = n
+				}
+				bc := upd.counts[b*k : (b+1)*k]
+				bs := upd.sums[b*k*d : (b+1)*k*d]
+				for i := lo; i < hi; i++ {
+					c := labels[i]
+					bc[c]++
+					row := bs[c*d : (c+1)*d]
+					for j, v := range points.Row(i) {
+						row[j] += v
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic reduction: block partials in block order.
+	for b := 0; b < nb; b++ {
+		bc := upd.counts[b*k : (b+1)*k]
+		bs := upd.sums[b*k*d : (b+1)*k*d]
+		for c := 0; c < k; c++ {
+			counts[c] += bc[c]
+			row := sums.Row(c)
+			for j, v := range bs[c*d : (c+1)*d] {
+				row[j] += v
+			}
+		}
+	}
 }
 
 // seedPlusPlus chooses K initial centroids with the k-means++ scheme:
@@ -169,51 +454,6 @@ func seedPlusPlus(points *matrix.Dense, k int, rng *rand.Rand) *matrix.Dense {
 		}
 	}
 	return centroids
-}
-
-// assignParallel writes the index of the nearest centroid for every
-// point into labels, splitting rows across workers.
-func assignParallel(points, centroids *matrix.Dense, labels []int, workers int) {
-	n := points.Rows()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		assignRange(points, centroids, labels, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			assignRange(points, centroids, labels, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-func assignRange(points, centroids *matrix.Dense, labels []int, lo, hi int) {
-	k := centroids.Rows()
-	for i := lo; i < hi; i++ {
-		p := points.Row(i)
-		best, bestD := 0, math.Inf(1)
-		for c := 0; c < k; c++ {
-			if d := matrix.SqDist(p, centroids.Row(c)); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		labels[i] = best
-	}
 }
 
 // farthestPoint returns the index of the point with the largest distance

@@ -223,6 +223,18 @@ func sortEigenDesc(d []float64, z *matrix.Dense) {
 	}
 }
 
+// denseCutoff is the dimension at or below which TopKEigenSym always
+// uses the full dense reduction: tred2+tqli on a 96x96 problem is
+// cheaper than building a Krylov basis for it.
+const denseCutoff = 96
+
+// UsesLanczos reports whether TopKEigenSym routes an n x n problem with
+// k wanted pairs to Lanczos rather than the full dense reduction —
+// dense only when the matrix is small or most of the spectrum is
+// wanted. Exported so the spectral solve engine can name the solver it
+// is about to run without duplicating the policy.
+func UsesLanczos(n, k int) bool { return n > denseCutoff && 3*k < n }
+
 // TopKEigenSym returns the k largest eigenvalues of a symmetric matrix
 // and the matrix of their eigenvectors (n x k, columns ordered by
 // descending eigenvalue). For small matrices it uses the dense solver;
@@ -239,11 +251,7 @@ func TopKEigenSym(a *matrix.Dense, k int) ([]float64, *matrix.Dense, error) {
 	if k == 0 {
 		return nil, matrix.NewDense(n, 0), nil
 	}
-	// Dense path only when the matrix is small or most of the spectrum
-	// is wanted; otherwise Lanczos converges to the few extremal pairs
-	// in a tiny fraction of the O(n^3) dense reduction time.
-	const denseCutoff = 96
-	if n <= denseCutoff || 3*k >= n {
+	if !UsesLanczos(n, k) {
 		vals, vecs, err := EigenSym(a)
 		if err != nil {
 			return nil, nil, err

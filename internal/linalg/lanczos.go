@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/matrix"
 )
@@ -73,12 +74,42 @@ func Lanczos(op Op, n, k int, seed int64) (*LanczosResult, error) {
 	}
 }
 
+// lanczosScratch is one iteration's pooled working set: the current
+// and residual vectors plus the backing array the orthonormal basis
+// vectors are carved from. Every slot is fully overwritten before it
+// is read, so dirty pooled buffers are safe.
+type lanczosScratch struct {
+	v, w    []float64
+	backing []float64 // m x n, basis vector j lives at [j*n:(j+1)*n]
+}
+
+var lanczosPool = sync.Pool{New: func() interface{} { return new(lanczosScratch) }}
+
+// getLanczosScratch returns a pooled scratch sized for an m-step
+// factorization of dimension n.
+func getLanczosScratch(n, m int) *lanczosScratch {
+	sc := lanczosPool.Get().(*lanczosScratch)
+	if cap(sc.v) < n {
+		sc.v = make([]float64, n)
+		sc.w = make([]float64, n)
+	}
+	if cap(sc.backing) < m*n {
+		sc.backing = make([]float64, m*n)
+	}
+	return sc
+}
+
 // lanczosOnce builds an m-step Lanczos factorization with full
 // reorthogonalization and extracts the top-k Ritz pairs, reporting
-// whether all k residual bounds are below tolerance.
+// whether all k residual bounds are below tolerance. All iteration
+// scratch (v, w, the basis backing array) is pooled, so the per-call
+// allocations are the returned Ritz pairs plus O(m) tridiagonal state —
+// the property the per-bucket sparse solve counts on.
 func lanczosOnce(op Op, n, k, m int, seed int64) (*LanczosResult, bool, error) {
+	sc := getLanczosScratch(n, m)
+	defer lanczosPool.Put(sc)
 	rng := rand.New(rand.NewSource(seed + 0x9E3779B9))
-	v := make([]float64, n)
+	v := sc.v[:n]
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
@@ -89,9 +120,11 @@ func lanczosOnce(op Op, n, k, m int, seed int64) (*LanczosResult, bool, error) {
 	beta := make([]float64, 0, m) // beta[j] couples basis[j] and basis[j+1]
 	exhausted := false            // invariant subspace found before m steps
 
-	w := make([]float64, n)
+	w := sc.w[:n]
 	for j := 0; j < m; j++ {
-		basis = append(basis, append([]float64(nil), v...))
+		slot := sc.backing[j*n : (j+1)*n]
+		copy(slot, v)
+		basis = append(basis, slot)
 		op(w, v)
 		a := matrix.Dot(w, v)
 		alpha = append(alpha, a)

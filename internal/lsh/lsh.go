@@ -11,7 +11,10 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -303,13 +306,62 @@ func (h *Hasher) Signature(x []float64) uint64 {
 	return sig
 }
 
-// Signatures hashes every row of points.
+const (
+	// signatureBlockRows is the fixed row-block edge of the parallel
+	// signature pass; each point's signature is a pure function of its
+	// row, so any block decomposition yields identical output bits.
+	signatureBlockRows = 1024
+	// signatureParallelCutoff is the row count below which the
+	// goroutine handoff costs more than the hashing.
+	signatureParallelCutoff = 4096
+)
+
+// Signatures hashes every row of points. Large inputs are hashed in
+// parallel over fixed row blocks; the result is identical for every
+// worker count.
 func (h *Hasher) Signatures(points *matrix.Dense) []uint64 {
 	out := make([]uint64, points.Rows())
-	for i := range out {
-		out[i] = h.Signature(points.Row(i))
-	}
+	h.signaturesInto(out, points, runtime.GOMAXPROCS(0))
 	return out
+}
+
+// signaturesInto fills out[i] with the signature of row i using up to
+// workers goroutines.
+func (h *Hasher) signaturesInto(out []uint64, points *matrix.Dense, workers int) {
+	n := points.Rows()
+	if n < signatureParallelCutoff || workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = h.Signature(points.Row(i))
+		}
+		return
+	}
+	nb := (n + signatureBlockRows - 1) / signatureBlockRows
+	if workers > nb {
+		workers = nb
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * signatureBlockRows
+				hi := lo + signatureBlockRows
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = h.Signature(points.Row(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // NearDuplicate reports whether two signatures differ in at most one

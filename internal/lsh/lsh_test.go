@@ -229,3 +229,37 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("unknown policy must still render")
 	}
 }
+
+// TestSignaturesWorkerDeterminism: the parallel signature pass must
+// produce the exact slice the serial loop produces, for any worker
+// count, on an input large enough to cross the parallel cutoff.
+func TestSignaturesWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := signatureParallelCutoff + 513 // crosses the cutoff with a ragged tail block
+	pts := matrix.NewDense(n, 8)
+	for i := range pts.Data() {
+		pts.Data()[i] = rng.NormFloat64()
+	}
+	h, err := Fit(pts, Config{M: 12, Policy: TopSpan, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, n)
+	h.signaturesInto(want, pts, 1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := make([]uint64, n)
+		h.signaturesInto(got, pts, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: signature[%d] = %x, serial %x", workers, i, got[i], want[i])
+			}
+		}
+	}
+	// The public entry point must agree with the serial loop too.
+	pub := h.Signatures(pts)
+	for i := range want {
+		if pub[i] != want[i] {
+			t.Fatalf("Signatures()[%d] = %x, serial %x", i, pub[i], want[i])
+		}
+	}
+}

@@ -9,7 +9,10 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -101,6 +104,37 @@ func abs(x float64) float64 {
 	return x
 }
 
+// NewCSRFromRaw wraps pre-assembled CSR storage without copying: rowPtr
+// must be a monotone n+1 prefix array, and every row's cols must be
+// strictly ascending and in [0, n). The sparse Gram emit path
+// (internal/kernel) builds its rows already sorted, so this constructor
+// skips NewCSR's O(nnz log nnz) triplet sort.
+func NewCSRFromRaw(n int, rowPtr []int, cols []int, vals []float64) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d", n)
+	}
+	if len(rowPtr) != n+1 || rowPtr[0] != 0 || rowPtr[n] != len(cols) || len(cols) != len(vals) {
+		return nil, fmt.Errorf("sparse: raw shape rowPtr=%d cols=%d vals=%d for n=%d",
+			len(rowPtr), len(cols), len(vals), n)
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("sparse: rowPtr not monotone at row %d", i)
+		}
+		for idx := lo; idx < hi; idx++ {
+			c := cols[idx]
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("sparse: column %d outside %d at row %d", c, n, i)
+			}
+			if idx > lo && cols[idx-1] >= c {
+				return nil, fmt.Errorf("sparse: columns not strictly ascending at row %d", i)
+			}
+		}
+	}
+	return &CSR{n: n, rowPtr: rowPtr, cols: cols, vals: vals}, nil
+}
+
 // N returns the dimension.
 func (m *CSR) N() int { return m.n }
 
@@ -124,19 +158,72 @@ func (m *CSR) At(i, j int) float64 {
 	return 0
 }
 
-// MulVec computes dst = M*src. Lengths must equal N.
+const (
+	// mulVecBlockRows is the fixed row-block edge of the parallel
+	// matrix-vector product. Blocks are fixed-size (independent of the
+	// worker count), so the work decomposition — and therefore every
+	// row's result bits — never depends on parallelism.
+	mulVecBlockRows = 512
+	// mulVecParallelCutoff is the stored-entry count below which the
+	// goroutine handoff costs more than the multiply.
+	mulVecParallelCutoff = 1 << 15
+)
+
+// MulVec computes dst = M*src. Lengths must equal N. Large products are
+// computed in parallel over fixed row blocks; each row is a sequential
+// accumulation over its stored entries, so the output is bitwise
+// identical for every worker count — the property the Lanczos
+// determinism argument (DESIGN.md, "Solve engine") rests on. MulVec
+// allocates nothing, making it safe as a pooled linalg.Op inner loop.
 func (m *CSR) MulVec(dst, src []float64) error {
 	if len(dst) != m.n || len(src) != m.n {
 		return errors.New("sparse: MulVec length mismatch")
 	}
-	for i := 0; i < m.n; i++ {
+	workers := runtime.GOMAXPROCS(0)
+	if m.NNZ() < mulVecParallelCutoff || workers <= 1 {
+		m.mulVecRange(dst, src, 0, m.n)
+		return nil
+	}
+	nb := (m.n + mulVecBlockRows - 1) / mulVecBlockRows
+	if workers > nb {
+		workers = nb
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * mulVecBlockRows
+				hi := lo + mulVecBlockRows
+				if hi > m.n {
+					hi = m.n
+				}
+				m.mulVecRange(dst, src, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// mulVecRange computes rows [lo, hi) of M*src into dst.
+func (m *CSR) mulVecRange(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.cols[start:end]
+		vals := m.vals[start:end]
 		var s float64
-		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
-			s += m.vals[idx] * src[m.cols[idx]]
+		for idx, c := range cols {
+			s += vals[idx] * src[c]
 		}
 		dst[i] = s
 	}
-	return nil
 }
 
 // RowSums returns the vector of row sums (degrees for affinity graphs).
@@ -153,7 +240,9 @@ func (m *CSR) RowSums() []float64 {
 }
 
 // ScaleSym returns a new CSR with entry (i,j) multiplied by d[i]*d[j] —
-// the sparse analogue of the normalized-Laplacian scaling.
+// the sparse analogue of the normalized-Laplacian scaling. The product
+// is grouped as v*(d[i]*d[j]) to match matrix.Diagonal.ScaleSym bit for
+// bit on shared entries.
 func (m *CSR) ScaleSym(d []float64) (*CSR, error) {
 	if len(d) != m.n {
 		return nil, errors.New("sparse: ScaleSym length mismatch")
@@ -165,23 +254,65 @@ func (m *CSR) ScaleSym(d []float64) (*CSR, error) {
 		vals:   make([]float64, len(m.vals)),
 	}
 	for i := 0; i < m.n; i++ {
+		di := d[i]
 		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
-			out.vals[idx] = m.vals[idx] * d[i] * d[m.cols[idx]]
+			out.vals[idx] = m.vals[idx] * (di * d[m.cols[idx]])
 		}
 	}
 	return out, nil
 }
 
+// ScaleSymInPlace multiplies entry (i,j) by d[i]*d[j] overwriting the
+// stored values — the allocation-free ScaleSym for callers (the
+// per-bucket sparse solve) that own the matrix and no longer need the
+// raw similarities.
+func (m *CSR) ScaleSymInPlace(d []float64) error {
+	if len(d) != m.n {
+		return errors.New("sparse: ScaleSymInPlace length mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		di := d[i]
+		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
+			m.vals[idx] *= di * d[m.cols[idx]]
+		}
+	}
+	return nil
+}
+
 // Dense materializes the matrix (tests and small problems only).
 func (m *CSR) Dense() *matrix.Dense {
 	out := matrix.NewDense(m.n, m.n)
+	m.DenseInto(out)
+	return out
+}
+
+// DenseInto scatters the matrix into dst, which must be n x n; every
+// entry of dst is overwritten (absent entries become 0), so pooled,
+// dirty buffers are fine. The solve engine uses it to densify a
+// high-fill thresholded Gram into the pooled sub-Gram scratch.
+func (m *CSR) DenseInto(dst *matrix.Dense) {
+	if dst.Rows() != m.n || dst.Cols() != m.n {
+		matrix.Panicf("sparse: DenseInto %dx%d for dimension %d", dst.Rows(), dst.Cols(), m.n)
+	}
+	data := dst.Data()
+	for i := range data {
+		data[i] = 0
+	}
 	for i := 0; i < m.n; i++ {
-		row := out.Row(i)
+		row := dst.Row(i)
 		for idx := m.rowPtr[i]; idx < m.rowPtr[i+1]; idx++ {
 			row[m.cols[idx]] = m.vals[idx]
 		}
 	}
-	return out
+}
+
+// Fill returns the stored-entry fraction nnz/n² — the quantity the
+// adaptive solver policy thresholds on. An empty matrix has fill 0.
+func (m *CSR) Fill() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.n) * float64(m.n))
 }
 
 // IsSymmetric reports whether the stored pattern and values are

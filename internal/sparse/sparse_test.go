@@ -3,6 +3,7 @@ package sparse
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -196,5 +197,168 @@ func TestPropSymmetrizedQuadraticForm(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNewCSRFromRaw(t *testing.T) {
+	rowPtr := []int{0, 2, 2, 3}
+	cols := []int{0, 2, 1}
+	vals := []float64{1, 2, 3}
+	m, err := NewCSRFromRaw(3, rowPtr, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(0, 2) != 2 || m.At(2, 1) != 3 || m.NNZ() != 3 {
+		t.Fatalf("entries: %v %v %v nnz=%d", m.At(0, 0), m.At(0, 2), m.At(2, 1), m.NNZ())
+	}
+
+	bad := []struct {
+		name   string
+		n      int
+		rowPtr []int
+		cols   []int
+		vals   []float64
+	}{
+		{"negative n", -1, nil, nil, nil},
+		{"short rowPtr", 3, []int{0, 2, 3}, cols, vals},
+		{"rowPtr[0] != 0", 3, []int{1, 2, 2, 3}, cols, vals},
+		{"rowPtr[n] != nnz", 3, []int{0, 2, 2, 2}, cols, vals},
+		{"cols/vals mismatch", 3, rowPtr, cols, []float64{1, 2}},
+		{"non-monotone rowPtr", 3, []int{0, 3, 2, 3}, cols, vals},
+		{"col out of range", 3, rowPtr, []int{0, 3, 1}, vals},
+		{"cols not ascending", 3, rowPtr, []int{2, 0, 1}, vals},
+		{"duplicate col", 3, rowPtr, []int{0, 0, 1}, vals},
+	}
+	for _, tc := range bad {
+		if _, err := NewCSRFromRaw(tc.n, tc.rowPtr, tc.cols, tc.vals); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestMulVecParallelDeterministic builds a matrix large enough to cross
+// mulVecParallelCutoff and checks the parallel product is bitwise equal
+// to the serial row sweep — the property the Lanczos determinism
+// argument needs from this operator.
+func TestMulVecParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2 * mulVecBlockRows // several blocks
+	perRow := (mulVecParallelCutoff / n) + 2
+	rowPtr := make([]int, n+1)
+	var cols []int
+	var vals []float64
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{}
+		for len(seen) < perRow {
+			seen[rng.Intn(n)] = true
+		}
+		row := make([]int, 0, perRow)
+		for c := range seen {
+			row = append(row, c)
+		}
+		sort.Ints(row)
+		for _, c := range row {
+			cols = append(cols, c)
+			vals = append(vals, rng.NormFloat64())
+		}
+		rowPtr[i+1] = len(cols)
+	}
+	m, err := NewCSRFromRaw(n, rowPtr, cols, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < mulVecParallelCutoff {
+		t.Fatalf("test matrix too sparse: nnz=%d", m.NNZ())
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	m.mulVecRange(want, x, 0, n)
+	for trial := 0; trial < 4; trial++ {
+		got := make([]float64, n)
+		if err := m.MulVec(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: MulVec[%d] = %v, serial %v (must be bitwise equal)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScaleSymInPlaceMatchesScaleSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 16
+	var entries []Triplet
+	for i := 0; i < 40; i++ {
+		entries = append(entries, Triplet{rng.Intn(n), rng.Intn(n), rng.NormFloat64()})
+	}
+	m, err := NewCSR(n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = rng.Float64() + 0.5
+	}
+	want, err := m.ScaleSym(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ScaleSymInPlace(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.At(i, j) != want.At(i, j) {
+				t.Fatalf("(%d,%d): in-place %v vs copy %v", i, j, m.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	if err := m.ScaleSymInPlace([]float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDenseIntoOverwritesDirtyBuffer(t *testing.T) {
+	m, err := NewCSR(3, []Triplet{{0, 1, 4}, {2, 2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := matrix.NewDense(3, 3)
+	for i := range dst.Data() {
+		dst.Data()[i] = math.NaN() // simulate pooled, dirty scratch
+	}
+	m.DenseInto(dst)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if dst.At(i, j) != m.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, dst.At(i, j), m.At(i, j))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	m.DenseInto(matrix.NewDense(2, 3))
+}
+
+func TestFill(t *testing.T) {
+	m, err := NewCSR(4, []Triplet{{0, 0, 1}, {1, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fill(); got != 2.0/16.0 {
+		t.Fatalf("Fill = %v", got)
+	}
+	empty, _ := NewCSR(0, nil)
+	if empty.Fill() != 0 {
+		t.Fatal("empty fill must be 0")
 	}
 }

@@ -17,6 +17,14 @@ import (
 // eigensolver path the PSC baseline and any user-supplied sparse
 // affinity share.
 func ClusterSparse(s *sparse.CSR, cfg Config) (*Result, error) {
+	return clusterCSR(s, cfg, false)
+}
+
+// clusterCSR is the shared sparse eigensolver path. owned callers (the
+// per-bucket solve engine, which built the CSR itself and drops it
+// afterwards) let the Laplacian scaling overwrite the stored
+// similarities instead of copying the matrix.
+func clusterCSR(s *sparse.CSR, cfg Config, owned bool) (*Result, error) {
 	n := s.N()
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("%w: K=%d", ErrBadInput, cfg.K)
@@ -44,9 +52,17 @@ func ClusterSparse(s *sparse.CSR, cfg Config) (*Result, error) {
 			dInv[i] = 0
 		}
 	}
-	lap, err := s.ScaleSym(dInv)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	lap := s
+	if owned {
+		if err := s.ScaleSymInPlace(dInv); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	} else {
+		var err error
+		lap, err = s.ScaleSym(dInv)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
 	}
 	op := func(dst, src []float64) {
 		if err := lap.MulVec(dst, src); err != nil {
