@@ -1,10 +1,12 @@
 // Command dasclint runs the DASC project's static-analysis suite
 // (internal/lint) over the module: floatcmp, errcheck-gob,
-// goroutine-guard, mutexcopy, and panicfree.
+// goroutine-guard, mutexcopy, panicfree, ctxarg, plus the determinism
+// and concurrency analyzers maporder, floataccum, poolescape, and
+// wgmisuse.
 //
 // Usage:
 //
-//	go run ./cmd/dasclint [-json] [-list] [packages...]
+//	go run ./cmd/dasclint [-json] [-list] [-ignore-unused] [-workers N] [packages...]
 //
 // Package arguments are directory patterns relative to the current
 // directory: "./..." (the default) lints the whole module, "./internal/lint"
@@ -15,10 +17,20 @@
 // and the exit status is 0 when the tree is clean, 1 when findings were
 // reported, and 2 when the module failed to load or type-check.
 //
+// Parsing and analysis fan out across GOMAXPROCS (override with
+// -workers); diagnostics are globally sorted, so the output is
+// byte-identical at any parallelism. -json emits a report object with
+// the wall-clock split (load/analyze) alongside the findings, which CI
+// archives for trend inspection.
+//
 // A finding can be suppressed on a specific line — with a mandatory
 // reason — by a trailing or preceding comment:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// A directive that no longer suppresses anything is itself reported, so
+// dead waivers cannot accumulate; pass -ignore-unused to silence that
+// check (useful when running a subset of packages).
 package main
 
 import (
@@ -28,13 +40,28 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
+// report is the -json output shape: the findings plus the run's timing
+// and scope, so archived reports can be compared across commits.
+type report struct {
+	ElapsedMs   float64           `json:"elapsed_ms"`
+	LoadMs      float64           `json:"load_ms"`
+	AnalyzeMs   float64           `json:"analyze_ms"`
+	Packages    int               `json:"packages"`
+	Analyzers   int               `json:"analyzers"`
+	Findings    []lint.Diagnostic `json:"findings"`
+	NumFindings int               `json:"num_findings"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (timings + diagnostics)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	ignoreUnused := flag.Bool("ignore-unused", false, "do not report //lint:ignore directives that suppress nothing")
+	workers := flag.Int("workers", 0, "parse/analyze parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -44,7 +71,7 @@ func main() {
 		return
 	}
 
-	diags, err := run(flag.Args())
+	rep, err := run(flag.Args(), *workers, !*ignoreUnused)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dasclint:", err)
 		os.Exit(2)
@@ -52,27 +79,25 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "dasclint:", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range rep.Findings {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(rep.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "dasclint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(os.Stderr, "dasclint: %d finding(s)\n", len(rep.Findings))
 		}
 		os.Exit(1)
 	}
 }
 
-func run(patterns []string) ([]lint.Diagnostic, error) {
+func run(patterns []string, workers int, reportUnused bool) (*report, error) {
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		return nil, err
@@ -81,12 +106,32 @@ func run(patterns []string) ([]lint.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := loader.LoadAll()
+	pkgs, err := loader.LoadAllParallel(workers)
 	if err != nil {
 		return nil, err
 	}
-	diags := lint.Run(loader.Fset, pkgs, lint.All)
-	return filterByPatterns(diags, cwd, patterns)
+	loaded := time.Now()
+	diags := lint.RunWith(loader.Fset, pkgs, lint.All, lint.Options{
+		Workers:             workers,
+		ReportUnusedIgnores: reportUnused,
+	})
+	analyzed := time.Now()
+	diags, err = filterByPatterns(diags, cwd, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	return &report{
+		ElapsedMs:   float64(analyzed.Sub(start).Microseconds()) / 1000,
+		LoadMs:      float64(loaded.Sub(start).Microseconds()) / 1000,
+		AnalyzeMs:   float64(analyzed.Sub(loaded).Microseconds()) / 1000,
+		Packages:    len(pkgs),
+		Analyzers:   len(lint.All),
+		Findings:    diags,
+		NumFindings: len(diags),
+	}, nil
 }
 
 // filterByPatterns keeps diagnostics whose file falls under one of the

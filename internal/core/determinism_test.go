@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResultDeterministicAcrossRunsAndWorkers pins the determinism
+// contract the lint layer guards statically: repeated runs of the same
+// configuration — at any worker count — must agree on labels, on the
+// per-bucket report (including its order), and on the Solvers
+// histogram. Bucket solves race over a shared work queue, so any
+// map-order or float-accumulation leak in the assembly path shows up
+// here as a flaky diff.
+func TestResultDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	l := mixture(t, 240, 12, 4, 0.04, 11)
+	cfg := Config{K: 4, Seed: 7, SparseCutoff: 24, Epsilon: 1e-4}
+
+	run := func(workers int) *Result {
+		t.Helper()
+		c := cfg
+		c.Workers = workers
+		res, err := Cluster(l.Points, c)
+		if err != nil {
+			t.Fatalf("Cluster(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+
+	base := run(1)
+	if len(base.Solvers) == 0 {
+		t.Fatal("baseline run populated no Solvers histogram")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			res := run(workers)
+			if !reflect.DeepEqual(res.Labels, base.Labels) {
+				t.Fatalf("workers=%d rep=%d: labels differ from baseline", workers, rep)
+			}
+			if !reflect.DeepEqual(res.Solvers, base.Solvers) {
+				t.Fatalf("workers=%d rep=%d: Solvers histogram %v != baseline %v",
+					workers, rep, res.Solvers, base.Solvers)
+			}
+			if len(res.Buckets) != len(base.Buckets) {
+				t.Fatalf("workers=%d rep=%d: %d buckets, baseline %d",
+					workers, rep, len(res.Buckets), len(base.Buckets))
+			}
+			for bi, b := range res.Buckets {
+				want := base.Buckets[bi]
+				// SolveNanos is wall time and legitimately varies; every
+				// other field — including position bi — must be stable.
+				b.SolveNanos, want.SolveNanos = 0, 0
+				if b != want {
+					t.Fatalf("workers=%d rep=%d: bucket %d = %+v, baseline %+v",
+						workers, rep, bi, b, want)
+				}
+			}
+		}
+	}
+}

@@ -106,6 +106,7 @@ func getScratch(n int) (*[]float64, []float64) {
 		*p = make([]float64, n)
 	}
 	buf := (*p)[:n]
+	//lint:ignore poolescape deliberate ownership transfer: every caller pairs this with putScratch(p) (usually deferred), and buf aliases the loan so it dies when p is returned
 	return p, buf
 }
 

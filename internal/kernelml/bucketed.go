@@ -284,10 +284,12 @@ func (e *BucketedSVM) Predict(x []float64) int {
 		}
 		m = e.models[best]
 	}
-	// Decision over the bucket's own training subset.
+	// Decision over the bucket's own training subset, summed in
+	// ascending support index order — float addition in map-iteration
+	// order would flip near-boundary predictions between runs.
 	s := m.svm.B
-	for i, a := range m.svm.Alpha {
-		s += a * float64(m.svm.Labels[i]) * e.kf.Eval(e.points.Row(m.indices[i]), x)
+	for _, i := range m.svm.supportIndices() {
+		s += m.svm.Alpha[i] * float64(m.svm.Labels[i]) * e.kf.Eval(e.points.Row(m.indices[i]), x)
 	}
 	if s >= 0 {
 		return 1

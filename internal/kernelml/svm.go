@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/matrix"
@@ -162,10 +163,24 @@ func TrainSVM(gram *matrix.Dense, y []int, cfg SVMConfig) (*SVM, error) {
 // the paper's §2 point that SVM testing is cheap compared to training).
 func (m *SVM) Decision(train *matrix.Dense, k kernel.Kernel, x []float64) float64 {
 	s := m.B
-	for i, a := range m.Alpha {
-		s += a * float64(m.Labels[i]) * k.Eval(train.Row(i), x)
+	// Sum over support vectors in ascending index order: float addition
+	// does not associate, so summing in map-iteration order would make
+	// the decision value (and near-boundary predictions) vary per run.
+	for _, i := range m.supportIndices() {
+		s += m.Alpha[i] * float64(m.Labels[i]) * k.Eval(train.Row(i), x)
 	}
 	return s
+}
+
+// supportIndices returns the support-vector indices in ascending order,
+// giving every Alpha consumer a deterministic summation order.
+func (m *SVM) supportIndices() []int {
+	idx := make([]int, 0, len(m.Alpha))
+	for i := range m.Alpha {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
 }
 
 // Predict returns the +-1 class for x.

@@ -96,6 +96,7 @@ func getLanczosScratch(n, m int) *lanczosScratch {
 	if cap(sc.backing) < m*n {
 		sc.backing = make([]float64, m*n)
 	}
+	//lint:ignore poolescape deliberate ownership transfer: lanczosOnce, the only caller, defers lanczosPool.Put(sc) immediately after this returns
 	return sc
 }
 

@@ -21,17 +21,14 @@ var CtxArg = &Analyzer{
 }
 
 func runCtxArg(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncType:
-				checkCtxParams(pass, x.Params)
-			case *ast.StructType:
-				checkCtxFields(pass, x)
-			}
-			return true
-		})
-	}
+	pass.Inspect.Preorder([]ast.Node{(*ast.FuncType)(nil), (*ast.StructType)(nil)}, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.FuncType:
+			checkCtxParams(pass, x.Params)
+		case *ast.StructType:
+			checkCtxFields(pass, x)
+		}
+	})
 }
 
 // checkCtxParams reports context.Context parameters at any flattened

@@ -42,21 +42,18 @@ func runErrcheckGob(pass *Pass) {
 			"%serror result of %s is discarded; check it or assign it to _ explicitly",
 			how, sel.Sel.Name)
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch stmt := n.(type) {
-			case *ast.ExprStmt:
-				if call, ok := stmt.X.(*ast.CallExpr); ok {
-					check(call, "")
-				}
-			case *ast.DeferStmt:
-				check(stmt.Call, "deferred ")
-			case *ast.GoStmt:
-				check(stmt.Call, "spawned ")
+	pass.Inspect.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.DeferStmt)(nil), (*ast.GoStmt)(nil)}, func(n ast.Node) {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				check(call, "")
 			}
-			return true
-		})
-	}
+		case *ast.DeferStmt:
+			check(stmt.Call, "deferred ")
+		case *ast.GoStmt:
+			check(stmt.Call, "spawned ")
+		}
+	})
 }
 
 // returnsError reports whether any result of sig is the built-in error

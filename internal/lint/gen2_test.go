@@ -1,0 +1,252 @@
+package lint
+
+// Tests for the second-generation analysis layer: the shared inspector,
+// the fact store, the stale-suppression check, parallel-run
+// determinism, and exact diagnostic positions for the four determinism
+// and concurrency analyzers.
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInspectorMatchesAstInspect replays the inspector's filtered
+// traversals against a reference ast.Inspect walk over a real fixture
+// package and requires identical node sequences.
+func TestInspectorMatchesAstInspect(t *testing.T) {
+	_, pkg := loadFixture(t, "maporder_pos")
+	in := NewInspector(pkg.Files)
+
+	filters := [][]ast.Node{
+		nil, // every node
+		{(*ast.CallExpr)(nil)},
+		{(*ast.AssignStmt)(nil), (*ast.RangeStmt)(nil)},
+		{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)},
+	}
+	match := func(n ast.Node, filter []ast.Node) bool {
+		if len(filter) == 0 {
+			return true
+		}
+		return typeBit(n)&maskOf(filter) != 0
+	}
+	for fi, filter := range filters {
+		var want []ast.Node
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n != nil && match(n, filter) {
+					want = append(want, n)
+				}
+				return true
+			})
+		}
+		var got []ast.Node
+		in.Preorder(filter, func(n ast.Node) { got = append(got, n) })
+		if len(got) != len(want) {
+			t.Fatalf("filter %d: Preorder visited %d nodes, ast.Inspect %d", fi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("filter %d: node %d differs: %T vs %T", fi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInspectorWithStack checks that the reported stack runs from the
+// file down to the node itself.
+func TestInspectorWithStack(t *testing.T) {
+	_, pkg := loadFixture(t, "maporder_pos")
+	in := NewInspector(pkg.Files)
+	seen := 0
+	in.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, stack []ast.Node) bool {
+		seen++
+		if len(stack) < 2 {
+			t.Fatalf("stack too short: %d", len(stack))
+		}
+		if _, ok := stack[0].(*ast.File); !ok {
+			t.Errorf("stack[0] = %T, want *ast.File", stack[0])
+		}
+		if stack[len(stack)-1] != n {
+			t.Errorf("stack top is %T, want the visited node", stack[len(stack)-1])
+		}
+		foundFunc := false
+		for _, s := range stack {
+			if _, ok := s.(*ast.FuncDecl); ok {
+				foundFunc = true
+			}
+		}
+		if !foundFunc {
+			t.Errorf("range statement with no enclosing FuncDecl on the stack")
+		}
+		return true
+	})
+	if seen == 0 {
+		t.Fatal("WithStack visited no range statements")
+	}
+}
+
+// TestFactStore checks the per-function facts on the floataccum
+// fixture, whose helper is the canonical shared-float accumulator.
+func TestFactStore(t *testing.T) {
+	_, pkg := loadFixture(t, "floataccum_pos")
+	in := NewInspector(pkg.Files)
+	facts := computeFacts(in, pkg.Info)
+
+	byName := map[string]*FuncFacts{}
+	for fn, ff := range facts.funcs {
+		byName[fn.Name()] = ff
+	}
+	if ff := byName["accumulateInto"]; ff == nil || !ff.AccumulatesSharedFloat {
+		t.Errorf("accumulateInto: want AccumulatesSharedFloat, got %+v", ff)
+	}
+	if ff := byName["oneCallDeep"]; ff == nil || !ff.Spawns {
+		t.Errorf("oneCallDeep: want Spawns, got %+v", ff)
+	}
+	if ff := byName["intoGlobal"]; ff == nil || ff.TouchesPool {
+		t.Errorf("intoGlobal: want !TouchesPool, got %+v", ff)
+	}
+}
+
+// TestFactStorePool checks pool-touch facts on the poolescape fixture.
+func TestFactStorePool(t *testing.T) {
+	_, pkg := loadFixture(t, "poolescape_neg")
+	in := NewInspector(pkg.Files)
+	facts := computeFacts(in, pkg.Info)
+	byName := map[string]*FuncFacts{}
+	for fn, ff := range facts.funcs {
+		byName[fn.Name()] = ff
+	}
+	if ff := byName["borrowAndReturn"]; ff == nil || !ff.TouchesPool {
+		t.Errorf("borrowAndReturn: want TouchesPool, got %+v", ff)
+	}
+	if ff := byName["returnsFresh"]; ff == nil || ff.TouchesPool {
+		t.Errorf("returnsFresh: want !TouchesPool, got %+v", ff)
+	}
+}
+
+// TestStaleSuppression: a dead //lint:ignore is reported when
+// ReportUnusedIgnores is set, silent by default, and a live directive
+// is never reported.
+func TestStaleSuppression(t *testing.T) {
+	loader, pkg := loadFixture(t, "staleignore")
+
+	if diags := Run(loader.Fset, []*Package{pkg}, All); len(diags) != 0 {
+		t.Fatalf("default run reported %d diagnostics: %v", len(diags), diags)
+	}
+
+	diags := RunWith(loader.Fset, []*Package{pkg}, All, Options{ReportUnusedIgnores: true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the stale directive, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "suppresses no diagnostic") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if d.Line != 7 {
+		t.Errorf("stale directive reported at line %d, want 7", d.Line)
+	}
+
+	// A directive whose analyzer is not in the run set cannot be proven
+	// stale and must not be reported.
+	diags = RunWith(loader.Fset, []*Package{pkg}, []*Analyzer{MapOrder}, Options{ReportUnusedIgnores: true})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses no diagnostic") && strings.Contains(d.Message, "floatcmp") {
+			t.Errorf("directive for analyzer outside the run set reported stale: %s", d)
+		}
+	}
+}
+
+// TestParallelRunDeterministic requires byte-identical diagnostics from
+// sequential and parallel runs over the same fixture set.
+func TestParallelRunDeterministic(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := []string{
+		"maporder_pos", "floataccum_pos", "poolescape_pos", "wgmisuse_pos",
+		"fixture", "ctxarg_pos", "mutexcopy_pos",
+	}
+	var pkgs []*Package
+	for _, rel := range fixtures {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", rel))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", rel, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	render := func(diags []Diagnostic) string {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	seq := render(RunWith(loader.Fset, pkgs, All, Options{Workers: 1}))
+	for _, workers := range []int{2, 4, 8} {
+		par := render(RunWith(loader.Fset, pkgs, All, Options{Workers: workers}))
+		if par != seq {
+			t.Errorf("workers=%d: diagnostics differ from sequential run:\n%s\nvs\n%s", workers, par, seq)
+		}
+	}
+}
+
+// TestNewAnalyzersExactPositions mirrors TestDriverExactDiagnostics for
+// the gen-2 analyzers: the full suite over each positive fixture must
+// produce exactly the expected file:line:col positions.
+func TestNewAnalyzersExactPositions(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+		want     []string
+	}{
+		{"maporder_pos", MapOrder, []string{
+			"maporder_pos.go:8:3",
+			"maporder_pos.go:17:3",
+			"maporder_pos.go:26:3",
+			"maporder_pos.go:35:3",
+			"maporder_pos.go:43:3",
+		}},
+		{"floataccum_pos", FloatAccum, []string{
+			"floataccum_pos.go:17:4",
+			"floataccum_pos.go:30:4",
+			"floataccum_pos.go:43:5",
+			"floataccum_pos.go:62:4",
+		}},
+		{"poolescape_pos", PoolEscape, []string{
+			"poolescape_pos.go:18:9",
+			"poolescape_pos.go:23:14",
+			"poolescape_pos.go:28:9",
+			"poolescape_pos.go:33:8",
+			"poolescape_pos.go:41:16",
+			"poolescape_pos.go:46:16",
+		}},
+		{"wgmisuse_pos", WgMisuse, []string{
+			"wgmisuse_pos.go:11:4",
+			"wgmisuse_pos.go:36:2",
+			"wgmisuse_pos.go:53:2",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			loader, pkg := loadFixture(t, tc.fixture)
+			diags := Run(loader.Fset, []*Package{pkg}, []*Analyzer{tc.analyzer})
+			var got []string
+			for _, d := range diags {
+				rel, err := filepath.Rel(pkg.Dir, d.File)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, fmt.Sprintf("%s:%d:%d", rel, d.Line, d.Col))
+			}
+			if strings.Join(got, "\n") != strings.Join(tc.want, "\n") {
+				t.Errorf("positions mismatch:\ngot:\n%s\nwant:\n%s",
+					strings.Join(got, "\n"), strings.Join(tc.want, "\n"))
+			}
+		})
+	}
+}

@@ -22,23 +22,17 @@ func runGoroutineGuard(pass *Pass) {
 	if !strings.Contains(pass.Path, "/internal/") {
 		return
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			gostmt, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true // named function: its body is checked where defined
-			}
-			if !hasCompletionGuard(lit.Body) {
-				pass.Reportf(gostmt.Pos(),
-					"goroutine literal has no completion signal (Done/channel send/close) and no deferred recover; a panic here deadlocks the job")
-			}
-			return true
-		})
-	}
+	pass.Inspect.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		gostmt := n.(*ast.GoStmt)
+		lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return // named function: its body is checked where defined
+		}
+		if !hasCompletionGuard(lit.Body) {
+			pass.Reportf(gostmt.Pos(),
+				"goroutine literal has no completion signal (Done/channel send/close) and no deferred recover; a panic here deadlocks the job")
+		}
+	})
 }
 
 // hasCompletionGuard reports whether body contains any of: a call to a

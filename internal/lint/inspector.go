@@ -1,0 +1,185 @@
+package lint
+
+// The inspector is the shared walk engine of the analyzer suite. The
+// first generation of analyzers each ran their own ast.Inspect over
+// every file, so a package with a dozen analyzers was walked a dozen
+// times. The inspector walks each package exactly once, flattening the
+// ASTs into an event list (push/pop per node) tagged with a type
+// bitmask; each analyzer then replays only the events whose node types
+// it subscribed to. This is the same design as
+// golang.org/x/tools/go/ast/inspector, rebuilt on the standard library
+// because the lint toolchain is deliberately dependency-free.
+
+import (
+	"go/ast"
+)
+
+// event is one node boundary in the flattened traversal. A push event
+// stores the index of its matching pop in pair, so a filtered replay
+// can skip an entire subtree in O(1); a pop event stores the index of
+// its push.
+type event struct {
+	node ast.Node
+	typ  uint64 // bit of the node's concrete type
+	pair int32  // matching pop (for push) or push (for pop) index
+	push bool
+}
+
+// Inspector replays a pre-flattened AST traversal, filtered by node
+// type. Build one per package with NewInspector and share it across
+// analyzers; replays are read-only and cheap.
+type Inspector struct {
+	events []event
+}
+
+// NewInspector flattens files into a reusable traversal.
+func NewInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	for _, f := range files {
+		in.flatten(f)
+	}
+	return in
+}
+
+// flatten records push/pop events for every node of the subtree.
+func (in *Inspector) flatten(root ast.Node) {
+	// stack holds the event indices of currently open pushes.
+	var stack []int32
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			in.events[top].pair = int32(len(in.events))
+			in.events = append(in.events, event{
+				node: in.events[top].node,
+				typ:  in.events[top].typ,
+				pair: top,
+			})
+			return true
+		}
+		idx := int32(len(in.events))
+		stack = append(stack, idx)
+		in.events = append(in.events, event{node: n, typ: typeBit(n), push: true})
+		return true
+	})
+}
+
+// Preorder calls f for every node whose concrete type is one of types,
+// in depth-first source order. A nil or empty types slice matches every
+// node.
+func (in *Inspector) Preorder(types []ast.Node, f func(n ast.Node)) {
+	mask := maskOf(types)
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if !ev.push {
+			continue
+		}
+		if ev.typ&mask != 0 {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder with the enclosing-node stack: stack[0] is the
+// *ast.File and stack[len-1] is n itself. Returning false from f prunes
+// the walk below n (matching nodes inside n are skipped). The stack
+// slice is reused between calls; copy it to retain.
+func (in *Inspector) WithStack(types []ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	mask := maskOf(types)
+	var stack []ast.Node
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if !ev.push {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		stack = append(stack, ev.node)
+		if ev.typ&mask != 0 {
+			if !f(ev.node, stack) {
+				stack = stack[:len(stack)-1]
+				i = int(ev.pair) // jump to the pop; loop increment skips it
+			}
+		}
+	}
+}
+
+// Nodes calls f twice per matching node — (n, true) entering, (n,
+// false) leaving — in traversal order. Returning false from the push
+// call prunes the subtree (the pop call still runs).
+func (in *Inspector) Nodes(types []ast.Node, f func(n ast.Node, push bool) bool) {
+	mask := maskOf(types)
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if ev.typ&mask == 0 {
+			continue
+		}
+		if ev.push {
+			if !f(ev.node, true) {
+				f(ev.node, false)
+				i = int(ev.pair)
+			}
+			continue
+		}
+		f(ev.node, false)
+	}
+}
+
+// typeBit maps a node's concrete type to one bit of the filter mask.
+// Only the types analyzers actually subscribe to get distinct bits;
+// everything else shares the overflow bit and is matched (cheaply,
+// never wrongly) by the nil-filter mask only.
+func typeBit(n ast.Node) uint64 {
+	switch n.(type) {
+	case *ast.AssignStmt:
+		return 1 << 0
+	case *ast.BinaryExpr:
+		return 1 << 1
+	case *ast.CallExpr:
+		return 1 << 2
+	case *ast.DeferStmt:
+		return 1 << 3
+	case *ast.ExprStmt:
+		return 1 << 4
+	case *ast.FuncDecl:
+		return 1 << 5
+	case *ast.FuncLit:
+		return 1 << 6
+	case *ast.FuncType:
+		return 1 << 7
+	case *ast.GoStmt:
+		return 1 << 8
+	case *ast.RangeStmt:
+		return 1 << 9
+	case *ast.ReturnStmt:
+		return 1 << 10
+	case *ast.SelectorExpr:
+		return 1 << 11
+	case *ast.SendStmt:
+		return 1 << 12
+	case *ast.StructType:
+		return 1 << 13
+	case *ast.ValueSpec:
+		return 1 << 14
+	case *ast.IncDecStmt:
+		return 1 << 15
+	case *ast.UnaryExpr:
+		return 1 << 16
+	case *ast.IndexExpr:
+		return 1 << 17
+	case *ast.File:
+		return 1 << 18
+	}
+	return 1 << 63 // overflow: types no analyzer filters on
+}
+
+// maskOf folds the example nodes' type bits into one filter mask.
+func maskOf(types []ast.Node) uint64 {
+	if len(types) == 0 {
+		return ^uint64(0)
+	}
+	var mask uint64
+	for _, n := range types {
+		mask |= typeBit(n)
+	}
+	return mask
+}

@@ -46,10 +46,15 @@ var All = []*Analyzer{
 	GoroutineGuard,
 	MutexCopy,
 	PanicFree,
+	MapOrder,
+	FloatAccum,
+	PoolEscape,
+	WgMisuse,
 }
 
 // Pass carries one package's parsed and type-checked state to an
-// analyzer invocation.
+// analyzer invocation. The Inspect traversal and the Facts store are
+// built once per package and shared by every analyzer in the suite.
 type Pass struct {
 	// Analyzer is the check currently running.
 	Analyzer *Analyzer
@@ -63,6 +68,13 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's expression and object facts.
 	Info *types.Info
+	// Inspect replays the package's flattened AST traversal filtered by
+	// node type; analyzers subscribe instead of re-walking the files.
+	Inspect *Inspector
+	// Facts answers one-call-deep questions about functions declared in
+	// this package (does the callee spawn goroutines / touch a pool /
+	// accumulate shared floats).
+	Facts *FactStore
 
 	report func(Diagnostic)
 }

@@ -80,6 +80,10 @@ var golden = []struct {
 	{GoroutineGuard, "goroutineguard_pos", "goroutineguard_neg"},
 	{MutexCopy, "mutexcopy_pos", "mutexcopy_neg"},
 	{PanicFree, "panicfree_pos", "matrixcase/internal/matrix"},
+	{MapOrder, "maporder_pos", "maporder_neg"},
+	{FloatAccum, "floataccum_pos", "floataccum_neg"},
+	{PoolEscape, "poolescape_pos", "poolescape_neg"},
+	{WgMisuse, "wgmisuse_pos", "wgmisuse_neg"},
 }
 
 func TestAnalyzersGolden(t *testing.T) {

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -38,8 +40,9 @@ type Loader struct {
 	root   string // module root (directory containing go.mod)
 	module string // module path from the go.mod "module" directive
 	std    types.Importer
-	pkgs   map[string]*Package // by import path
-	active map[string]bool     // import-cycle guard
+	pkgs   map[string]*Package    // by import path
+	active map[string]bool        // import-cycle guard
+	parsed map[string][]*ast.File // pre-parsed sources by directory
 }
 
 // NewLoader creates a loader for the module rooted at or above dir.
@@ -95,9 +98,32 @@ func findModule(dir string) (root, module string, err error) {
 // vendor, and hidden directories), returning them sorted by import
 // path.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadAllParallel(1)
+}
+
+// LoadAllParallel is LoadAll with the parse phase fanned out over up to
+// workers goroutines (values below 1 mean GOMAXPROCS). Parsing is
+// embarrassingly parallel — token.FileSet is concurrency-safe — while
+// type-checking stays sequential because the module importer recurses
+// through shared memo tables; in practice parsing is the file-I/O-bound
+// half of loading, so this is where the wall-clock lives. The result is
+// identical to LoadAll: packages sorted by import path, type-checked in
+// deterministic (sorted-directory) order.
+func (l *Loader) LoadAllParallel(workers int) ([]*Package, error) {
 	dirs, err := l.packageDirs()
 	if err != nil {
 		return nil, err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers > 1 {
+		if err := l.parseAll(dirs, workers); err != nil {
+			return nil, err
+		}
 	}
 	var out []*Package
 	for _, dir := range dirs {
@@ -111,6 +137,56 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// parseAll pre-parses every directory's sources concurrently into the
+// loader's parse cache, which load consults before re-parsing.
+func (l *Loader) parseAll(dirs []string, workers int) error {
+	l.parsed = map[string][]*ast.File{}
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dir := range next {
+				files, err := l.parseDir(dir)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					l.parsed[dir] = files
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, dir := range dirs {
+		next <- dir
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// parseDir parses the non-test sources of one directory.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", dir, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 // packageDirs lists every directory under the module root that holds at
@@ -213,21 +289,23 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	l.active[path] = true
 	defer delete(l.active, path)
 
-	names, err := goSources(dir)
-	if err != nil {
-		return nil, fmt.Errorf("lint: %s: %w", path, err)
-	}
-	if len(names) == 0 {
-		l.pkgs[path] = nil
-		return nil, nil
-	}
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	files, preParsed := l.parsed[dir]
+	if !preParsed {
+		names, err := goSources(dir)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
 		}
-		files = append(files, f)
+		if len(names) == 0 {
+			l.pkgs[path] = nil
+			return nil, nil
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+			}
+			files = append(files, f)
+		}
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},

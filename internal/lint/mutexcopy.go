@@ -24,48 +24,49 @@ func runMutexCopy(pass *Pass) {
 	seen := map[types.Type]bool{}
 	contains := func(t types.Type) bool { return containsLock(t, seen) }
 
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncDecl:
-				if x.Recv != nil {
-					checkFieldList(pass, x.Recv, "receiver", contains)
-				}
-				checkFieldList(pass, x.Type.Params, "parameter", contains)
-				checkFieldList(pass, x.Type.Results, "result", contains)
-			case *ast.FuncLit:
-				checkFieldList(pass, x.Type.Params, "parameter", contains)
-				checkFieldList(pass, x.Type.Results, "result", contains)
-			case *ast.AssignStmt:
-				for _, rhs := range x.Rhs {
-					if copiesLock(pass, rhs, contains) {
-						pass.Reportf(rhs.Pos(), "assignment copies a lock-containing value (type %s)", typeOf(pass, rhs))
-					}
-				}
-			case *ast.ValueSpec:
-				for _, rhs := range x.Values {
-					if copiesLock(pass, rhs, contains) {
-						pass.Reportf(rhs.Pos(), "declaration copies a lock-containing value (type %s)", typeOf(pass, rhs))
-					}
-				}
-			case *ast.RangeStmt:
-				if x.Value != nil {
-					// A `:=` range value is a definition, so its type
-					// lives in Defs rather than Types; TypeOf checks both.
-					if t := pass.Info.TypeOf(x.Value); t != nil && contains(t) {
-						pass.Reportf(x.Value.Pos(), "range value copies a lock-containing value (type %s)", t)
-					}
-				}
-			case *ast.CallExpr:
-				for _, arg := range x.Args {
-					if copiesLock(pass, arg, contains) {
-						pass.Reportf(arg.Pos(), "call argument copies a lock-containing value (type %s)", typeOf(pass, arg))
-					}
+	types := []ast.Node{
+		(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil), (*ast.AssignStmt)(nil),
+		(*ast.ValueSpec)(nil), (*ast.RangeStmt)(nil), (*ast.CallExpr)(nil),
+	}
+	pass.Inspect.Preorder(types, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Recv != nil {
+				checkFieldList(pass, x.Recv, "receiver", contains)
+			}
+			checkFieldList(pass, x.Type.Params, "parameter", contains)
+			checkFieldList(pass, x.Type.Results, "result", contains)
+		case *ast.FuncLit:
+			checkFieldList(pass, x.Type.Params, "parameter", contains)
+			checkFieldList(pass, x.Type.Results, "result", contains)
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if copiesLock(pass, rhs, contains) {
+					pass.Reportf(rhs.Pos(), "assignment copies a lock-containing value (type %s)", typeOf(pass, rhs))
 				}
 			}
-			return true
-		})
-	}
+		case *ast.ValueSpec:
+			for _, rhs := range x.Values {
+				if copiesLock(pass, rhs, contains) {
+					pass.Reportf(rhs.Pos(), "declaration copies a lock-containing value (type %s)", typeOf(pass, rhs))
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value != nil {
+				// A `:=` range value is a definition, so its type
+				// lives in Defs rather than Types; TypeOf checks both.
+				if t := pass.Info.TypeOf(x.Value); t != nil && contains(t) {
+					pass.Reportf(x.Value.Pos(), "range value copies a lock-containing value (type %s)", t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if copiesLock(pass, arg, contains) {
+					pass.Reportf(arg.Pos(), "call argument copies a lock-containing value (type %s)", typeOf(pass, arg))
+				}
+			}
+		}
+	})
 }
 
 // checkFieldList reports fields declared with a non-pointer

@@ -3,8 +3,10 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // IgnorePrefix starts a suppression comment: //lint:ignore <analyzer>
@@ -13,34 +15,68 @@ import (
 // sit on its own line above).
 const IgnorePrefix = "//lint:ignore"
 
-// Run executes the analyzers over every package, filters findings
-// through //lint:ignore comments, and returns the remaining
-// diagnostics sorted by file, line, column, and analyzer. Malformed
-// ignore comments (missing analyzer or reason) are reported under the
-// pseudo-analyzer "lint".
+// Options controls a Run: worker count and whether suppression
+// directives that matched nothing are themselves reported.
+type Options struct {
+	// Workers is the number of packages analyzed concurrently; values
+	// below 1 mean GOMAXPROCS. Output is deterministic regardless.
+	Workers int
+	// ReportUnusedIgnores reports //lint:ignore directives that
+	// suppressed no diagnostic of an analyzer in the run set, under the
+	// "lint" pseudo-analyzer. dasclint enables this by default (escape
+	// hatch: -ignore-unused) so dead waivers cannot accumulate.
+	ReportUnusedIgnores bool
+}
+
+// Run executes the analyzers over every package with default options.
+// See RunWith.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup, bad := suppressions(fset, pkg.Files)
-		diags = append(diags, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-			}
-			pass.report = func(d Diagnostic) {
-				d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
-				if sup[suppressKey{d.File, d.Line, d.Analyzer}] {
-					return
-				}
-				diags = append(diags, d)
-			}
-			a.Run(pass)
+	return RunWith(fset, pkgs, analyzers, Options{})
+}
+
+// RunWith executes the analyzers over every package, filters findings
+// through //lint:ignore comments, and returns the remaining diagnostics
+// sorted by file, line, column, and analyzer. Packages are analyzed
+// concurrently (each on one goroutine: the flattened traversal and fact
+// store are built once and replayed by every analyzer), and the global
+// sort makes the output order independent of scheduling. Malformed
+// ignore comments (missing analyzer or reason) — and, with
+// ReportUnusedIgnores, directives that matched nothing — are reported
+// under the pseudo-analyzer "lint".
+func RunWith(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			perPkg[i] = runPackage(fset, pkg, analyzers, opts)
 		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					perPkg[i] = runPackage(fset, pkgs[i], analyzers, opts)
+				}
+			}()
+		}
+		for i := range pkgs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -58,19 +94,78 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	return diags
 }
 
-// suppressKey locates one suppressed (file, line, analyzer) triple.
-type suppressKey struct {
+// runPackage analyzes one package: shared traversal and facts first,
+// then every analyzer replayed over them, then suppression filtering
+// and (optionally) stale-directive reporting.
+func runPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	dirs, diags := suppressions(fset, pkg.Files)
+	inspect := NewInspector(pkg.Files)
+	facts := computeFacts(inspect, pkg.Info)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Inspect:  inspect,
+			Facts:    facts,
+		}
+		pass.report = func(d Diagnostic) {
+			d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+			for _, dir := range dirs {
+				if dir.analyzer == d.Analyzer && dir.file == d.File &&
+					(dir.line == d.Line || dir.line+1 == d.Line) {
+					dir.used = true
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		a.Run(pass)
+	}
+	if opts.ReportUnusedIgnores {
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, dir := range dirs {
+			// A directive for an analyzer outside the run set may still
+			// be live; only directives whose analyzer actually ran can be
+			// proven stale.
+			if dir.used || !ran[dir.analyzer] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      dir.pos,
+				File:     dir.file,
+				Line:     dir.line,
+				Col:      dir.pos.Column,
+				Analyzer: "lint",
+				Message:  "//lint:ignore " + dir.analyzer + " suppresses no diagnostic; remove it (or run with -ignore-unused)",
+			})
+		}
+	}
+	return diags
+}
+
+// directive is one well-formed //lint:ignore comment. It suppresses its
+// analyzer on the comment's line and the next line; used records
+// whether it ever did.
+type directive struct {
 	file     string
 	line     int
 	analyzer string
+	pos      token.Position
+	used     bool
 }
 
 // suppressions scans the files' comments for //lint:ignore directives.
-// Each well-formed directive suppresses its analyzer on the comment's
-// line and the next line; malformed directives are returned as
+// Malformed directives (missing analyzer or reason) are returned as
 // diagnostics.
-func suppressions(fset *token.FileSet, files []*ast.File) (map[suppressKey]bool, []Diagnostic) {
-	sup := map[suppressKey]bool{}
+func suppressions(fset *token.FileSet, files []*ast.File) ([]*directive, []Diagnostic) {
+	var dirs []*directive
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -92,10 +187,11 @@ func suppressions(fset *token.FileSet, files []*ast.File) (map[suppressKey]bool,
 					})
 					continue
 				}
-				sup[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
-				sup[suppressKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+				dirs = append(dirs, &directive{
+					file: pos.Filename, line: pos.Line, analyzer: fields[0], pos: pos,
+				})
 			}
 		}
 	}
-	return sup, bad
+	return dirs, bad
 }

@@ -1,0 +1,62 @@
+// Negative fixtures for the floataccum analyzer: every accumulation
+// below is goroutine-owned (or sequential), so worker count cannot
+// change the result.
+package floataccum_neg
+
+import "sync"
+
+// The deterministic idiom: per-worker partial sums folded sequentially.
+func perWorkerPartials(xs []float64, workers int) float64 {
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*chunk, min((w+1)*chunk, len(xs))
+			for _, x := range xs[lo:hi] {
+				partials[w] += x // index bound inside the literal: owned
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partials {
+		sum += p // sequential fold: deterministic
+	}
+	return sum
+}
+
+// A local accumulator inside the goroutine is invisible outside it.
+func localAccumulator(xs []float64, out chan<- float64) {
+	go func() {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		out <- sum
+	}()
+}
+
+// Sequential accumulation without goroutines is ordinary code.
+func sequentialSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Integer accumulation is exact: scheduler order cannot change the
+// value, only the interleaving (races are the race detector's job).
+func sharedIntCounter(xs []int, n *int64, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var local int64
+		for _, x := range xs {
+			local += int64(x)
+		}
+	}()
+}

@@ -1,0 +1,66 @@
+// Positive fixtures for the floataccum analyzer: every accumulation
+// below is shared across goroutines, so the sum depends on scheduler
+// order and must be flagged.
+package floataccum_pos
+
+import "sync"
+
+var globalSum float64
+
+func sharedCapture(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			sum += x // want floataccum "captured variable sum"
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+func intoGlobal(xs []float64) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			globalSum += x // want floataccum "package variable globalSum"
+		}(x)
+	}
+	wg.Wait()
+}
+
+func sharedSlot(xs []float64, out []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, x := range xs {
+				out[0] += x // want floataccum "shared element"
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// accumulateInto has the AccumulatesSharedFloat fact: it adds into an
+// element of a parameter slice, so its caller's concurrency leaks in.
+func accumulateInto(out []float64, x float64) {
+	out[0] += x
+}
+
+func oneCallDeep(xs []float64, out []float64) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			accumulateInto(out, x) // want floataccum "accumulates floats into shared state"
+		}(x)
+	}
+	wg.Wait()
+}

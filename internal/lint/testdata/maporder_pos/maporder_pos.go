@@ -1,0 +1,45 @@
+// Positive fixtures for the maporder analyzer: every map range below
+// leaks iteration order into its output and must be flagged.
+package maporder_pos
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "append inside a map range"
+	}
+	return keys
+}
+
+func indexedCursor(m map[string]float64) []float64 {
+	out := make([]float64, len(m))
+	i := 0
+	for _, v := range m {
+		out[i] = v // want maporder "indexed write with a loop-varying index"
+		i++
+	}
+	return out
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder "floating-point accumulation inside a map range"
+	}
+	return sum
+}
+
+type stats struct{ total float64 }
+
+func floatFieldSum(m map[int]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want maporder "floating-point accumulation inside a map range"
+	}
+}
+
+func scatterByValue(m map[string]int, out []int) {
+	// The range value repeats across keys, so this is last-writer-wins
+	// in map order — unlike scattering by key.
+	for _, v := range m {
+		out[v] = v // want maporder "indexed write with a loop-varying index"
+	}
+}

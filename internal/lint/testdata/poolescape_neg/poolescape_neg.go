@@ -1,0 +1,46 @@
+// Negative fixtures for the poolescape analyzer: the disciplined
+// borrow/Put patterns the engines actually use; none may be flagged.
+package poolescape_neg
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 64); return &b }}
+
+// The canonical loan: Get, use, deferred Put of the same token.
+func borrowAndReturn(n int) int {
+	p := bufPool.Get().(*[]byte)
+	defer bufPool.Put(p)
+	buf := (*p)[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	return len(buf)
+}
+
+// Putting the loan back re-sliced to zero length keeps the whole
+// backing array pooled; only a nonzero low bound drops memory.
+func putEmptied() {
+	p := bufPool.Get().(*[]byte)
+	*p = (*p)[:0]
+	bufPool.Put(p)
+}
+
+// A fresh allocation may be returned freely; only Get loans are loans.
+func returnsFresh() *[]byte {
+	b := make([]byte, 0, 64)
+	return &b
+}
+
+// Copying out of the loan and returning the copy is the sanctioned way
+// to keep results past the Put.
+func copiesOut(n int) []byte {
+	p := bufPool.Get().(*[]byte)
+	defer bufPool.Put(p)
+	buf := (*p)[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out
+}

@@ -1,0 +1,47 @@
+// Positive fixtures for the poolescape analyzer: every site below
+// lets a pooled loan escape its borrower (or Puts back something other
+// than the loan) and must be flagged.
+package poolescape_pos
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 64); return &b }}
+
+type holder struct {
+	scratch *[]byte
+}
+
+var kept *[]byte
+
+func returnsLoan() *[]byte {
+	p := bufPool.Get().(*[]byte)
+	return p // want poolescape "is returned; the loan escapes its borrower"
+}
+
+func storesInField(h *holder) {
+	p := bufPool.Get().(*[]byte)
+	h.scratch = p // want poolescape "stored in field scratch"
+}
+
+func storesInGlobal() {
+	p := bufPool.Get().(*[]byte)
+	kept = p // want poolescape "stored in package variable kept"
+}
+
+func sendsOnChannel(ch chan *[]byte) {
+	p := bufPool.Get().(*[]byte)
+	ch <- p // want poolescape "sent on a channel"
+}
+
+var slicePool = sync.Pool{New: func() interface{} { return []byte(nil) }}
+
+func putsAppend(data []byte) {
+	buf := slicePool.Get().([]byte)
+	buf = buf[:0]
+	slicePool.Put(append(buf, data...)) // want poolescape "append may reallocate"
+}
+
+func putsResliced() {
+	buf := slicePool.Get().([]byte)
+	slicePool.Put(buf[1:]) // want poolescape "re-sliced buffer drops its head"
+}

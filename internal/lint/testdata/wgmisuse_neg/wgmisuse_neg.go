@@ -1,0 +1,74 @@
+// Negative fixtures for the wgmisuse analyzer: the disciplined worker
+// pool shapes used throughout the runtime; none may be flagged.
+package wgmisuse_neg
+
+import "sync"
+
+// Add in the spawner, before the go statement — the canonical pool.
+func addBeforeSpawn(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+type guarded struct {
+	mu      sync.Mutex
+	results []int
+}
+
+// Unlocking before Wait lets the workers through.
+func unlockBeforeWait(g *guarded, n int) {
+	var wg sync.WaitGroup
+	g.mu.Lock()
+	g.results = g.results[:0]
+	g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.mu.Lock()
+			g.results = append(g.results, i)
+			g.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Holding a mutex over Wait is fine when the goroutines never touch it.
+func waitUnderUnrelatedLock(g *guarded, n int, out []int) {
+	var wg sync.WaitGroup
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// A goroutine may manage a WaitGroup it created itself.
+func ownWaitGroup(work []func()) {
+	done := make(chan struct{})
+	go func() {
+		var inner sync.WaitGroup
+		for _, f := range work {
+			inner.Add(1)
+			go func(f func()) {
+				defer inner.Done()
+				f()
+			}(f)
+		}
+		inner.Wait()
+		close(done)
+	}()
+	<-done
+}

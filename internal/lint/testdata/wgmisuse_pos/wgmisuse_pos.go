@@ -1,0 +1,54 @@
+// Positive fixtures for the wgmisuse analyzer: the Add-in-goroutine
+// race and the Wait-under-lock deadlock; every site must be flagged.
+package wgmisuse_pos
+
+import "sync"
+
+func addInsideGoroutine(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		go func(f func()) {
+			wg.Add(1) // want wgmisuse "WaitGroup.Add inside the spawned goroutine"
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+type guarded struct {
+	mu      sync.Mutex
+	results []int
+}
+
+func waitUnderLock(g *guarded, n int) {
+	var wg sync.WaitGroup
+	g.mu.Lock()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.mu.Lock()
+			g.results = append(g.results, i)
+			g.mu.Unlock()
+		}(i)
+	}
+	wg.Wait() // want wgmisuse "Wait while holding g.mu"
+	g.mu.Unlock()
+}
+
+func waitUnderDeferredLock(g *guarded, n int) {
+	var wg sync.WaitGroup
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.mu.Lock()
+			g.results = append(g.results, i)
+			g.mu.Unlock()
+		}(i)
+	}
+	wg.Wait() // want wgmisuse "Wait while holding g.mu"
+}

@@ -92,6 +92,7 @@ func Symmetrized(n int, entries []Triplet) (*CSR, error) {
 	}
 	out := make([]Triplet, 0, len(seen))
 	for key, v := range seen {
+		//lint:ignore maporder NewCSR sorts the triplets by (row,col) before assembly and the keys are unique, so append order cannot reach the output
 		out = append(out, Triplet{key[0], key[1], v})
 	}
 	return NewCSR(n, out)
