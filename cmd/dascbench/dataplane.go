@@ -17,7 +17,7 @@ import (
 )
 
 // addFunc matches run()'s benchmark registrar.
-type addFunc func(name string, acc, gramfrac float64, f func())
+type addFunc func(name string, acc, gramfrac float64, f func()) *Result
 
 // benchDataPlane appends the data-plane entries to the report.
 func benchDataPlane(add addFunc, quick bool) error {

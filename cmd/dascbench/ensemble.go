@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lsh"
+	"repro/internal/metrics"
+)
+
+// benchEnsemble sweeps the multi-table, multi-probe bucketing dial at a
+// fixed signature width: for every (L, R) cell it times the full
+// hash+partition pass and records
+//
+//   - Acc: same-cluster pair recall of the merged partition — the
+//     fraction of ground-truth same-cluster pairs that end up sharing a
+//     merged bucket, the recall the ensemble dial exists to buy,
+//   - Silhouette: cohesion of the end-to-end DASC labeling at that
+//     dial.
+//
+// M is held small (8 bits over 1024 points) so the single-table
+// partition visibly fragments clusters and the sweep has headroom to
+// show recall climbing with L and R.
+func benchEnsemble(add addFunc, quick bool) error {
+	data, err := dataset.Mixture(dataset.MixtureConfig{N: 1024, D: 16, K: 8, Noise: 0.2, Seed: 15})
+	if err != nil {
+		return err
+	}
+	const m, seed = 14, 5
+	tableSweep := []int{1, 2, 4, 8}
+	probeSweep := []int{0, 1, 2}
+	if quick {
+		tableSweep = []int{1, 4}
+		probeSweep = []int{0, 1}
+	}
+	// The merged-bucket cap (1.5x one true cluster) keeps the recall
+	// levers honest: without it a few noisy tables union the whole
+	// dataset into one bucket and every cell reads 1.0.
+	maxBucket := data.Points.Rows() * 3 / 16
+	for _, L := range tableSweep {
+		for _, R := range probeSweep {
+			ens, err := lsh.FitEnsemble(data.Points, lsh.Config{M: m, Seed: seed},
+				lsh.EnsembleConfig{Tables: L, ProbeRadius: R, MaxMergedBucket: maxBucket})
+			if err != nil {
+				return err
+			}
+			var part *lsh.Partition
+			r := add(fmt.Sprintf("ensemble/L%d-R%d", L, R), 0, 0, func() {
+				part = ens.PartitionPoints(data.Points, 0)
+			})
+			r.Acc = pairRecall(data.Labels, part)
+
+			res, err := core.Cluster(data.Points, core.Config{
+				K: 8, M: m, Seed: seed, Tables: L, ProbeRadius: R,
+				MaxMergedBucket: maxBucket,
+			})
+			if err != nil {
+				return err
+			}
+			sil, err := metrics.Silhouette(data.Points, res.Labels)
+			if err != nil {
+				return err
+			}
+			r.Silhouette = sil
+			fmt.Printf("%-24s pair-recall %.4f  silhouette %.4f  buckets %d\n",
+				"", r.Acc, sil, len(part.Buckets))
+		}
+	}
+	return nil
+}
+
+// pairRecall is the fraction of ground-truth same-cluster point pairs
+// that share a merged bucket. It isolates what the recall dial buys:
+// more tables and probes can only co-bucket more true pairs.
+func pairRecall(truth []int, part *lsh.Partition) float64 {
+	classes := 0
+	for _, c := range truth {
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	pairs := func(counts []int64) int64 {
+		var p int64
+		for _, c := range counts {
+			p += c * (c - 1) / 2
+		}
+		return p
+	}
+	total := make([]int64, classes)
+	for _, c := range truth {
+		total[c]++
+	}
+	var hit int64
+	perBucket := make([]int64, classes)
+	for _, b := range part.Buckets {
+		for i := range perBucket {
+			perBucket[i] = 0
+		}
+		for _, idx := range b.Indices {
+			perBucket[truth[idx]]++
+		}
+		hit += pairs(perBucket)
+	}
+	denom := pairs(total)
+	if denom == 0 {
+		return 0
+	}
+	return float64(hit) / float64(denom)
+}

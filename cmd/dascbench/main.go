@@ -37,15 +37,17 @@ import (
 	"repro/internal/metrics"
 )
 
-// Result is one benchmark's record. Acc and GramFrac are only set for
-// the end-to-end entries where clustering quality and Gram compression
-// are meaningful.
+// Result is one benchmark's record. Acc, GramFrac and Silhouette are
+// only set for the entries where clustering quality, Gram compression,
+// or labeling cohesion are meaningful (for the ensemble sweep, Acc is
+// the same-cluster pair recall of the merged partition).
 type Result struct {
 	Name        string  `json:"name"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Acc         float64 `json:"acc,omitempty"`
 	GramFrac    float64 `json:"gramfrac,omitempty"`
+	Silhouette  float64 `json:"silhouette,omitempty"`
 }
 
 // Report is the BENCH_<n>.json document.
@@ -115,12 +117,13 @@ func run() error {
 	}
 
 	rep := &Report{Note: *note, Date: time.Now().UTC().Format(time.RFC3339), Iters: it}
-	add := func(name string, acc, gramfrac float64, f func()) {
+	add := func(name string, acc, gramfrac float64, f func()) *Result {
 		ns, allocs := measure(it, f)
 		rep.Results = append(rep.Results, Result{
 			Name: name, NsPerOp: ns, AllocsPerOp: allocs, Acc: acc, GramFrac: gramfrac,
 		})
 		fmt.Printf("%-24s %12d ns/op %8d allocs/op\n", name, ns, allocs)
+		return &rep.Results[len(rep.Results)-1]
 	}
 
 	fast := kernel.NewGaussian(1)
@@ -177,6 +180,10 @@ func run() error {
 	}
 
 	if err := benchDataPlane(add, *quick); err != nil {
+		return err
+	}
+
+	if err := benchEnsemble(add, *quick); err != nil {
 		return err
 	}
 

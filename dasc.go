@@ -178,6 +178,16 @@ func FitLSH(points *Matrix, m int, seed int64) (LSHFamily, error) {
 	return lsh.Fit(points, lsh.Config{M: m, Seed: seed})
 }
 
+// MinHashLSH draws an m-bit min-wise hashing family over each vector's
+// nonzero support — the natural family for sparse shingled or tf-idf
+// text vectors, where set overlap (Jaccard) is the right similarity.
+// Pass it as Config.Family; because MinHash is seed-refittable, setting
+// Config.Tables > 1 grows independent ensemble tables from it, and
+// Config.ProbeRadius adds Hamming-ball probing (see examples/shingles).
+func MinHashLSH(m int, seed int64) (LSHFamily, error) {
+	return lsh.FitMinHash(m, seed)
+}
+
 // ---- datasets ----
 
 // Labeled couples points with ground-truth labels.

@@ -67,11 +67,29 @@ type Config struct {
 	// (default GOMAXPROCS).
 	Workers int
 	// Family optionally replaces the paper's span/threshold hash with
-	// another LSH family (SimHash, MinHash, spectral hashing, ...).
-	// When set, M is taken from the family and Policy/Bins are ignored.
-	// Distributed drivers ship hash parameters to worker processes and
-	// therefore always use the paper's fitted hasher, ignoring Family.
+	// another LSH family (SimHash, MinHash, spectral hashing, or a
+	// prebuilt lsh.Ensemble). When set, M is taken from the family and
+	// Policy/Bins are ignored. With Tables > 1 the family must be an
+	// lsh.Ensemble or lsh.Refittable (MinHash) so independent tables can
+	// be derived. Distributed drivers ship hash parameters to worker
+	// processes and therefore always use the paper's fitted hasher,
+	// ignoring Family.
 	Family lsh.Family
+	// Tables is the number of independent LSH tables L (default 1, the
+	// paper's single-signature front-end). With L > 1, buckets that
+	// share a point in any table are merged, repairing clusters that one
+	// table's unlucky cut fragmented.
+	Tables int
+	// ProbeRadius enables multi-probe bucket merging: every point also
+	// probes the buckets of signatures within this many bit flips
+	// (lowest-margin bits first) and merges with the buckets it hits.
+	// 0 (the default) disables probing.
+	ProbeRadius int
+	// MaxMergedBucket caps the size a bucket may reach through
+	// cross-table or probe merging — the cost half of the recall/cost
+	// dial, bounding the Ni^2 solve work the ensemble can create.
+	// 0 means unlimited.
+	MaxMergedBucket int
 	// SparseCutoff enables the thresholded-CSR solve engine for buckets
 	// with at least this many points. 0 (the default) keeps every bucket
 	// on the dense path, which reproduces pre-engine labels bit for bit.
@@ -181,6 +199,18 @@ func (c Config) resolve(n int) (Config, int, error) {
 	if c.SparseCutoff < 0 {
 		return c, 0, fmt.Errorf("%w: SparseCutoff=%d", ErrBadConfig, c.SparseCutoff)
 	}
+	if c.Tables == 0 {
+		c.Tables = 1
+	}
+	if c.Tables < 1 || c.Tables > lsh.MaxTables {
+		return c, 0, fmt.Errorf("%w: Tables=%d out of range [1,%d]", ErrBadConfig, c.Tables, lsh.MaxTables)
+	}
+	if c.ProbeRadius < 0 || c.ProbeRadius > lsh.MaxBits {
+		return c, 0, fmt.Errorf("%w: ProbeRadius=%d out of range [0,%d]", ErrBadConfig, c.ProbeRadius, lsh.MaxBits)
+	}
+	if c.MaxMergedBucket < 0 {
+		return c, 0, fmt.Errorf("%w: MaxMergedBucket=%d negative", ErrBadConfig, c.MaxMergedBucket)
+	}
 	if c.Epsilon < 0 || c.Epsilon >= 1 || math.IsNaN(c.Epsilon) {
 		return c, 0, fmt.Errorf("%w: Epsilon=%v outside [0,1)", ErrBadConfig, c.Epsilon)
 	}
@@ -205,22 +235,18 @@ type localRunner struct{}
 func (*localRunner) Name() string      { return "local" }
 func (*localRunner) NeedsHasher() bool { return false }
 
-func (*localRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+func (*localRunner) Signatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error) {
 	return hashSignatures(ctx, p)
 }
 
 // hashSignatures is the in-process signature stage, shared by the local
-// and incremental runners.
-func hashSignatures(ctx context.Context, p *Plan) ([]uint64, error) {
-	n := p.Points.Rows()
-	sigs := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		if i%1024 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: signatures: %w", err)
-			}
-		}
-		sigs[i] = p.Family.Signature(p.Points.Row(i))
+// and incremental runners: the ensemble hashes every row under every
+// table, in parallel for large inputs, with identical output at any
+// worker count.
+func hashSignatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error) {
+	sigs, err := p.Ensemble.HashContext(ctx, p.Points)
+	if err != nil {
+		return nil, fmt.Errorf("core: signatures: %w", err)
 	}
 	return sigs, nil
 }

@@ -34,24 +34,34 @@ func EMRFlowContext(ctx context.Context, points *matrix.Dense, cfg Config, beta 
 	if beta <= 0 {
 		beta = analytic.DefaultModel().Beta
 	}
-	hasher, err := lsh.Fit(points, lsh.Config{
+	ens, err := lsh.FitEnsemble(points, lsh.Config{
 		M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+	}, lsh.EnsembleConfig{
+		Tables:          cfg.Tables,
+		ProbeRadius:     cfg.ProbeRadius,
+		MaxMergedBucket: cfg.MaxMergedBucket,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: lsh: %w", err)
 	}
-	if err := ctx.Err(); err != nil {
+	sigs, err := ens.HashContext(ctx, points)
+	if err != nil {
 		return nil, nil, fmt.Errorf("core: emr flow: %w", err)
 	}
-	part := lsh.PartitionSignatures(hasher.Signatures(points), radius)
+	part, err := ens.Partition(points, sigs, radius)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: emr flow: %w", err)
+	}
 	flow := BuildFlow(part, cfg, n, points.Cols(), beta)
 	return flow, part, nil
 }
 
 // BuildFlow constructs the job flow from an existing partition. Costs
-// follow §4.1: hashing is beta*M per point per split; a bucket of
-// size Ni with Ki clusters costs beta*(2 Ni^2 + 2 Ki Ni); collection is
-// a single linear pass. Memory per bucket is the 4 Ni^2-byte sub-Gram.
+// follow §4.1: hashing is beta*M per point per split, multiplied by the
+// number of ensemble tables (each table hashes every point); a bucket
+// of size Ni with Ki clusters costs beta*(2 Ni^2 + 2 Ki Ni); collection
+// is a single linear pass. Memory per bucket is the 4 Ni^2-byte
+// sub-Gram.
 func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.JobFlow {
 	if beta <= 0 {
 		beta = analytic.DefaultModel().Beta
@@ -59,6 +69,10 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 	m := cfg.M
 	if m == 0 {
 		m = lsh.DefaultM(n)
+	}
+	tables := cfg.Tables
+	if tables < 1 {
+		tables = 1
 	}
 	const splitSize = 1024
 	var lshTasks []emr.Task
@@ -69,7 +83,7 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 		}
 		lshTasks = append(lshTasks, emr.Task{
 			Name:        fmt.Sprintf("lsh-split-%d", start/splitSize),
-			Cost:        beta * float64(m) * float64(size),
+			Cost:        beta * float64(m) * float64(tables) * float64(size),
 			MemoryBytes: int64(size) * int64(dims) * 8,
 		})
 	}

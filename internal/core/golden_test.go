@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// The golden labelings below were captured from the pre-ensemble
+// pipeline (commit ddfed36, single-signature bucketing) with the exact
+// dataset and configuration of the cross-driver and determinism tests.
+// The multi-table refactor's contract is that the degenerate dial —
+// Tables=1, ProbeRadius=0, i.e. the zero Config — reproduces them
+// byte-identically, so these tests pin the refactor against silent
+// label drift. Both corpora happen to label in clean 60-point blocks,
+// which blocks60 spells out.
+func blocks60(vals ...int) []int {
+	out := make([]int, 0, 60*len(vals))
+	for _, v := range vals {
+		for i := 0; i < 60; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestGoldenLabelsDegenerateDial pins the degenerate ensemble against
+// the pre-refactor labels on all four drivers: corpus A (the
+// cross-driver dataset) must reproduce goldenA everywhere, and corpus B
+// (the sparse-engine determinism dataset) must reproduce goldenB.
+func TestGoldenLabelsDegenerateDial(t *testing.T) {
+	goldenA := blocks60(3, 1, 0, 2)
+	goldenB := blocks60(0, 1, 2, 3)
+
+	check := func(name string, got, want []int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d labels, golden has %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: label[%d] = %d, golden %d", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	a := mixture(t, 240, 12, 4, 0.03, 40)
+	cfgA := Config{K: 4, Seed: 41}
+	batch, err := Cluster(a.Points, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("batch", batch.Labels, goldenA)
+	// The captured run produced 4 clusters over 2 merged buckets with a
+	// 144000-byte Gram at M=3; pin the accounting too so bucket-merge
+	// changes cannot hide behind a coincidentally equal labeling.
+	if batch.Clusters != 4 || batch.GramBytes != 144000 || len(batch.Buckets) != 2 || batch.SignatureBits != 3 {
+		t.Errorf("batch bookkeeping: clusters=%d gram=%d buckets=%d M=%d, golden 4/144000/2/3",
+			batch.Clusters, batch.GramBytes, len(batch.Buckets), batch.SignatureBits)
+	}
+
+	inc, err := ClusterIncremental(a.Points, cfgA, batch.GramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("incremental", inc.Labels, goldenA)
+	mr, err := ClusterMapReduce(a.Points, cfgA, &mapreduce.Local{}, "golden-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("mapreduce", mr.Labels, goldenA)
+	shipped, err := ClusterMapReduceShipped(a.Points, cfgA, &mapreduce.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("shipped", shipped.Labels, goldenA)
+
+	b := mixture(t, 240, 12, 4, 0.04, 11)
+	res, err := Cluster(b.Points, Config{K: 4, Seed: 7, SparseCutoff: 24, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sparse-engine", res.Labels, goldenB)
+	if res.Clusters != 4 || res.GramBytes != 86400 {
+		t.Errorf("sparse-engine bookkeeping: clusters=%d gram=%d, golden 4/86400", res.Clusters, res.GramBytes)
+	}
+}
+
+// TestAllDriversEnsembleIdenticalLabels extends the cross-driver
+// identity guarantee to a non-degenerate dial: with two tables and one
+// probe flip, all four drivers must still agree exactly — the ensemble
+// merge runs on the driver, so backend choice cannot change the
+// partition.
+func TestAllDriversEnsembleIdenticalLabels(t *testing.T) {
+	l := mixture(t, 240, 12, 4, 0.03, 40)
+	cfg := Config{K: 4, Seed: 41, Tables: 2, ProbeRadius: 1}
+
+	batch, err := Cluster(l.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ClusterIncremental(l.Points, cfg, batch.GramBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := ClusterMapReduce(l.Points, cfg, &mapreduce.Local{}, "ensemble-ident")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := ClusterMapReduceShipped(l.Points, cfg, &mapreduce.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	others := map[string]*Result{
+		"incremental": &inc.Result,
+		"mapreduce":   mr,
+		"shipped":     shipped,
+	}
+	for name, res := range others {
+		if len(res.Labels) != len(batch.Labels) {
+			t.Fatalf("%s: %d labels, batch has %d", name, len(res.Labels), len(batch.Labels))
+		}
+		for i := range batch.Labels {
+			if res.Labels[i] != batch.Labels[i] {
+				t.Fatalf("%s: label[%d] = %d, batch %d", name, i, res.Labels[i], batch.Labels[i])
+			}
+		}
+		if res.Clusters != batch.Clusters || res.GramBytes != batch.GramBytes {
+			t.Errorf("%s bookkeeping differs: %d clusters / %d bytes vs %d / %d",
+				name, res.Clusters, res.GramBytes, batch.Clusters, batch.GramBytes)
+		}
+	}
+}
+
+// TestEnsembleResultDeterministic repeats the determinism pin at a
+// non-degenerate dial: same seed, any worker count, identical labels
+// and bucket reports.
+func TestEnsembleResultDeterministic(t *testing.T) {
+	l := mixture(t, 240, 12, 4, 0.04, 11)
+	cfg := Config{K: 4, Seed: 7, Tables: 4, ProbeRadius: 1, SparseCutoff: 24, Epsilon: 1e-4}
+
+	run := func(workers int) *Result {
+		t.Helper()
+		c := cfg
+		c.Workers = workers
+		res, err := Cluster(l.Points, c)
+		if err != nil {
+			t.Fatalf("Cluster(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+
+	base := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		for rep := 0; rep < 2; rep++ {
+			res := run(workers)
+			for i := range base.Labels {
+				if res.Labels[i] != base.Labels[i] {
+					t.Fatalf("workers=%d rep=%d: label[%d] = %d, baseline %d",
+						workers, rep, i, res.Labels[i], base.Labels[i])
+				}
+			}
+			if len(res.Buckets) != len(base.Buckets) {
+				t.Fatalf("workers=%d rep=%d: %d buckets, baseline %d",
+					workers, rep, len(res.Buckets), len(base.Buckets))
+			}
+			for bi, b := range res.Buckets {
+				want := base.Buckets[bi]
+				b.SolveNanos, want.SolveNanos = 0, 0
+				if b != want {
+					t.Fatalf("workers=%d rep=%d: bucket %d = %+v, baseline %+v",
+						workers, rep, bi, b, want)
+				}
+			}
+		}
+	}
+}

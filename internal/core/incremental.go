@@ -67,7 +67,7 @@ type incrementalRunner struct {
 func (*incrementalRunner) Name() string      { return "incremental" }
 func (*incrementalRunner) NeedsHasher() bool { return false }
 
-func (*incrementalRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+func (*incrementalRunner) Signatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error) {
 	return hashSignatures(ctx, p)
 }
 

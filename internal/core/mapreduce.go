@@ -54,9 +54,13 @@ func (*mapReduceRunner) NeedsHasher() bool { return true }
 // stages; RunPipeline copies them onto the Result.
 func (r *mapReduceRunner) MapReduceCounters() *mapreduce.Counters { return &r.ctr }
 
-func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error) {
 	n := p.Points.Rows()
-	lshJob := LSHJob(r.prefix, p.Points, p.Hasher)
+	hashers, err := p.Hashers()
+	if err != nil {
+		return nil, err
+	}
+	lshJob := LSHJob(r.prefix, p.Points, hashers)
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
@@ -66,7 +70,7 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, er
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
 	r.ctr.Add(ctr)
-	return signaturesFromPairs(sigPairs, n)
+	return signaturesFromPairs(sigPairs, n, len(hashers))
 }
 
 func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
@@ -86,20 +90,46 @@ func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partitio
 	return solutionsFromLabelPairs(part, labelPairs, p.Points.Rows())
 }
 
-// signaturesFromPairs reassembles per-point signatures from stage-1
-// output records, shared by both MapReduce runners.
-func signaturesFromPairs(sigPairs []mapreduce.Pair, n int) ([]uint64, error) {
-	sigs := make([]uint64, n)
+// encodeSigKey formats a stage-1 record key as "<table>:<signature>"
+// with fixed-width hex fields, so the shuffle groups per (table,
+// signature) and keys sort in (table, signature) order.
+func encodeSigKey(table int, sig uint64) string {
+	return fmt.Sprintf("%02x:%016x", table, sig)
+}
+
+// decodeSigKey is the inverse of encodeSigKey.
+func decodeSigKey(key string) (table int, sig uint64, err error) {
+	if len(key) != 19 || key[2] != ':' {
+		return 0, 0, fmt.Errorf("core: bad signature key %q", key)
+	}
+	t, err := strconv.ParseUint(key[:2], 16, 8)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: bad table in key %q: %w", key, err)
+	}
+	sig, err = strconv.ParseUint(key[3:], 16, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: bad signature in key %q: %w", key, err)
+	}
+	return int(t), sig, nil
+}
+
+// signaturesFromPairs reassembles the per-point per-table signature set
+// from stage-1 output records, shared by both MapReduce runners.
+func signaturesFromPairs(sigPairs []mapreduce.Pair, n, tables int) (*lsh.SignatureSet, error) {
+	sigs := lsh.NewSignatureSet(tables, n)
 	for _, p := range sigPairs {
-		sig, err := strconv.ParseUint(p.Key, 16, 64)
+		t, sig, err := decodeSigKey(p.Key)
 		if err != nil {
-			return nil, fmt.Errorf("core: bad signature %q: %w", p.Key, err)
+			return nil, err
+		}
+		if t >= tables {
+			return nil, fmt.Errorf("core: table %d out of range (have %d)", t, tables)
 		}
 		idx := int(binary.LittleEndian.Uint32(p.Value))
 		if idx < 0 || idx >= n {
 			return nil, fmt.Errorf("core: index %d out of range", idx)
 		}
-		sigs[idx] = sig
+		sigs.Tables[t][idx] = sig
 	}
 	return sigs, nil
 }
@@ -179,11 +209,12 @@ func decodeBucketStats(buf []byte, s *BucketSolution) {
 	s.Solver = string(buf[bucketStatsLen:])
 }
 
-// LSHJob builds the stage-1 MapReduce job (Algorithm 1): the mapper
-// hashes its input vector and emits (signature, index); the reducer
-// passes records through, so the executor's shuffle performs the
-// signature grouping.
-func LSHJob(prefix string, points *matrix.Dense, hasher *lsh.Hasher) *mapreduce.Job {
+// LSHJob builds the stage-1 MapReduce job (Algorithm 1, extended to the
+// multi-table ensemble): the mapper hashes its input vector once per
+// table and emits one (table:signature, index) record per table; the
+// reducer passes records through, so the executor's shuffle performs
+// the per-table signature grouping.
+func LSHJob(prefix string, points *matrix.Dense, hashers []*lsh.Hasher) *mapreduce.Job {
 	job := &mapreduce.Job{
 		Name:        prefix + "/lsh",
 		NumReducers: 4,
@@ -195,10 +226,12 @@ func LSHJob(prefix string, points *matrix.Dense, hasher *lsh.Hasher) *mapreduce.
 			if idx < 0 || idx >= points.Rows() {
 				return fmt.Errorf("point index %d out of range", idx)
 			}
-			sig := hasher.Signature(points.Row(idx))
+			row := points.Row(idx)
 			var buf [4]byte
 			binary.LittleEndian.PutUint32(buf[:], uint32(idx))
-			emit(fmt.Sprintf("%016x", sig), buf[:])
+			for t, h := range hashers {
+				emit(encodeSigKey(t, h.Signature(row)), buf[:])
+			}
 			return nil
 		},
 		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {

@@ -26,25 +26,46 @@ import (
 )
 
 // Plan is the resolved execution plan shared by all pipeline stages:
-// the dataset, the defaulted configuration, the fitted hash family, the
-// merge radius, and the kernel bandwidth.
+// the dataset, the defaulted configuration, the fitted hash ensemble,
+// the merge radius, and the kernel bandwidth.
 type Plan struct {
 	// Points is the dataset, one row per point.
 	Points *matrix.Dense
 	// Cfg is the configuration with every default resolved (K, M,
-	// Workers filled in).
+	// Tables, Workers filled in).
 	Cfg Config
 	// Radius is the Hamming merge radius derived from P and M.
 	Radius int
 	// Sigma is the resolved Gaussian kernel bandwidth.
 	Sigma float64
-	// Family is the hashing scheme used by the signature stage.
+	// Ensemble is the fitted multi-table hash front-end; with
+	// Tables=1 and ProbeRadius=0 it degenerates to the paper's
+	// single-signature partition.
+	Ensemble *lsh.Ensemble
+	// Family is table 0 of the ensemble — the single-signature view
+	// kept for routing and diagnostics call sites.
 	Family lsh.Family
-	// Hasher is the fitted span/threshold hasher when Family is the
-	// paper's scheme (always non-nil for distributed runners, which
-	// ship its parameters to worker processes); nil when a custom
-	// Family from Config is in use.
+	// Hasher is the fitted span/threshold hasher of table 0 when the
+	// paper's scheme is in use (always non-nil for distributed runners,
+	// which ship every table's parameters to worker processes); nil
+	// when a custom Family from Config is in use.
 	Hasher *lsh.Hasher
+}
+
+// Hashers returns the fitted span/threshold hasher of every ensemble
+// table, or an error when any table uses a different family — the
+// distributed runners ship these parameters to worker processes.
+func (p *Plan) Hashers() ([]*lsh.Hasher, error) {
+	fams := p.Ensemble.Families()
+	hashers := make([]*lsh.Hasher, len(fams))
+	for t, f := range fams {
+		h, ok := f.(*lsh.Hasher)
+		if !ok {
+			return nil, fmt.Errorf("core: table %d is %T, distributed runners need the fitted hasher", t, f)
+		}
+		hashers[t] = h
+	}
+	return hashers, nil
 }
 
 // BucketSolution is the solve stage's output for one bucket: local
@@ -72,16 +93,17 @@ type Runner interface {
 	// span/threshold Hasher (distributed runners ship its parameters);
 	// such runners ignore a custom Config.Family.
 	NeedsHasher() bool
-	// Signatures computes the per-point LSH signatures (stage 1).
-	Signatures(ctx context.Context, p *Plan) ([]uint64, error)
+	// Signatures computes the per-point per-table LSH signatures
+	// (stage 1).
+	Signatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error)
 	// Solve clusters every bucket of the partition (stage 3), returning
 	// one solution per bucket in partition order.
 	Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error)
 }
 
 // NewPlan resolves the configuration against the dataset and fits the
-// hash family and kernel bandwidth. needsHasher forces the paper's
-// span/threshold hasher even when Config.Family is set (the behaviour
+// hash ensemble and kernel bandwidth. needsHasher forces the paper's
+// span/threshold hashers even when Config.Family is set (the behaviour
 // of the distributed drivers, whose jobs ship hash thresholds).
 func NewPlan(points *matrix.Dense, cfg Config, needsHasher bool) (*Plan, error) {
 	n := points.Rows()
@@ -89,18 +111,31 @@ func NewPlan(points *matrix.Dense, cfg Config, needsHasher bool) (*Plan, error) 
 	if err != nil {
 		return nil, err
 	}
+	ecfg := lsh.EnsembleConfig{
+		Tables:          cfg.Tables,
+		ProbeRadius:     cfg.ProbeRadius,
+		MaxMergedBucket: cfg.MaxMergedBucket,
+	}
 	p := &Plan{Points: points, Radius: radius}
 	if cfg.Family != nil && !needsHasher {
-		cfg.M = cfg.Family.Bits()
-		p.Family = cfg.Family
-	} else {
-		hasher, err := lsh.Fit(points, lsh.Config{
-			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
-		})
+		ens, err := lsh.EnsembleFrom(cfg.Family, ecfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: lsh: %w", err)
 		}
-		p.Family, p.Hasher = hasher, hasher
+		p.Ensemble = ens
+		p.Family = ens.Families()[0]
+		cfg.M = ens.Bits()
+		cfg.Tables = ens.Tables()
+	} else {
+		ens, err := lsh.FitEnsemble(points, lsh.Config{
+			M: cfg.M, Policy: cfg.Policy, Bins: cfg.Bins, Seed: cfg.Seed,
+		}, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: lsh: %w", err)
+		}
+		p.Ensemble = ens
+		p.Family = ens.Families()[0]
+		p.Hasher = p.Family.(*lsh.Hasher)
 	}
 	p.Sigma = cfg.Sigma
 	if p.Sigma <= 0 {
@@ -123,18 +158,25 @@ func RunPipeline(ctx context.Context, points *matrix.Dense, cfg Config, r Runner
 		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
 	}
 
-	// Stage 1: signatures.
+	// Stage 1: per-table signatures.
 	sigs, err := r.Signatures(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	if len(sigs) != points.Rows() {
-		return nil, fmt.Errorf("core: %s produced %d signatures for %d points", r.Name(), len(sigs), points.Rows())
+	if sigs.Len() != points.Rows() || sigs.NumTables() != p.Ensemble.Tables() {
+		return nil, fmt.Errorf("core: %s produced %d signatures x %d tables for %d points x %d tables",
+			r.Name(), sigs.Len(), sigs.NumTables(), points.Rows(), p.Ensemble.Tables())
 	}
 
 	// Stage 2: bucket-merge, always on the driver (the paper merges
-	// "before applying the reducer" of its second job).
-	part := lsh.PartitionSignatures(sigs, p.Radius)
+	// "before applying the reducer" of its second job). The ensemble
+	// merges within each table (Eq. 6), then across tables and probe
+	// hits; with Tables=1 and ProbeRadius=0 this is byte-identical to
+	// the single-signature partition.
+	part, err := p.Ensemble.Partition(p.Points, sigs, p.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", r.Name(), err)
 	}

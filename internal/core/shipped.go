@@ -38,10 +38,16 @@ func init() {
 	mapreduce.RegisterFactory(ShippedClusterJobName, newShippedClusterJob)
 }
 
-// lshConf is the stage-1 configuration: the fitted hash parameters.
-type lshConf struct {
+// lshTable is one ensemble table's fitted hash parameters.
+type lshTable struct {
 	Dims       []int
 	Thresholds []float64
+}
+
+// lshConf is the stage-1 configuration: every table's fitted hash
+// parameters, so a remote worker can compute the full signature set.
+type lshConf struct {
+	Tables []lshTable
 }
 
 // clusterConf is the stage-2 configuration. SparseCutoff and Epsilon
@@ -77,15 +83,22 @@ func gobDecode(data []byte, v interface{}) error {
 }
 
 // newShippedLSHJob rebuilds stage 1 from its configuration: the mapper
-// decodes each record's vector, hashes it with the shipped thresholds,
-// and emits (signature, index); the reducer is the identity grouping.
+// decodes each record's vector, hashes it with every table's shipped
+// thresholds, and emits one (table:signature, index) record per table;
+// the reducer is the identity grouping.
 func newShippedLSHJob(conf []byte) (*mapreduce.Job, error) {
 	var c lshConf
 	if err := gobDecode(conf, &c); err != nil {
 		return nil, fmt.Errorf("core: lsh conf: %w", err)
 	}
-	if len(c.Dims) != len(c.Thresholds) || len(c.Dims) == 0 {
-		return nil, fmt.Errorf("core: lsh conf has %d dims, %d thresholds", len(c.Dims), len(c.Thresholds))
+	if len(c.Tables) == 0 {
+		return nil, fmt.Errorf("core: lsh conf has no tables")
+	}
+	for t, tab := range c.Tables {
+		if len(tab.Dims) != len(tab.Thresholds) || len(tab.Dims) == 0 {
+			return nil, fmt.Errorf("core: lsh conf table %d has %d dims, %d thresholds",
+				t, len(tab.Dims), len(tab.Thresholds))
+		}
 	}
 	return &mapreduce.Job{
 		NumReducers: 4,
@@ -98,18 +111,20 @@ func newShippedLSHJob(conf []byte) (*mapreduce.Job, error) {
 			if err != nil {
 				return err
 			}
-			var sig uint64
-			for i, dim := range c.Dims {
-				if dim < 0 || dim >= len(vec) {
-					return fmt.Errorf("hash dimension %d outside vector of %d", dim, len(vec))
-				}
-				if vec[dim] > c.Thresholds[i] {
-					sig |= 1 << uint(i)
-				}
-			}
 			var buf [4]byte
 			binary.LittleEndian.PutUint32(buf[:], uint32(idx))
-			emit(fmt.Sprintf("%016x", sig), buf[:])
+			for t, tab := range c.Tables {
+				var sig uint64
+				for i, dim := range tab.Dims {
+					if dim < 0 || dim >= len(vec) {
+						return fmt.Errorf("hash dimension %d outside vector of %d", dim, len(vec))
+					}
+					if vec[dim] > tab.Thresholds[i] {
+						sig |= 1 << uint(i)
+					}
+				}
+				emit(encodeSigKey(t, sig), buf[:])
+			}
 			return nil
 		},
 		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
@@ -263,9 +278,17 @@ func (*shippedRunner) NeedsHasher() bool { return true }
 // stages; RunPipeline copies them onto the Result.
 func (r *shippedRunner) MapReduceCounters() *mapreduce.Counters { return &r.ctr }
 
-func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, error) {
+func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) (*lsh.SignatureSet, error) {
 	n := p.Points.Rows()
-	lshBlob, err := gobEncode(lshConf{Dims: p.Hasher.Dimensions(), Thresholds: p.Hasher.Thresholds()})
+	hashers, err := p.Hashers()
+	if err != nil {
+		return nil, err
+	}
+	conf := lshConf{Tables: make([]lshTable, len(hashers))}
+	for t, h := range hashers {
+		conf.Tables[t] = lshTable{Dims: h.Dimensions(), Thresholds: h.Thresholds()}
+	}
+	lshBlob, err := gobEncode(conf)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +307,7 @@ func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) ([]uint64, erro
 		return nil, fmt.Errorf("core: lsh stage: %w", err)
 	}
 	r.ctr.Add(ctr)
-	return signaturesFromPairs(sigPairs, n)
+	return signaturesFromPairs(sigPairs, n, len(hashers))
 }
 
 func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {

@@ -344,3 +344,37 @@ func TestProportionalK(t *testing.T) {
 		t.Fatal("cap at ni")
 	}
 }
+
+func TestBucketedSVMWithEnsembleFamily(t *testing.T) {
+	// An *lsh.Ensemble passed as the family must train on the merged
+	// multi-table partition and still route predictions through the
+	// table-0 signature.
+	pts, y := svmData(t, 160, 13)
+	e, err := lsh.FitEnsemble(pts, lsh.Config{M: 4, Seed: 1},
+		lsh.EnsembleConfig{Tables: 3, ProbeRadius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := TrainBucketedSVM(pts, y, e, kernel.Gaussian(1), SVMConfig{C: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Buckets() < 1 {
+		t.Fatal("no bucket models")
+	}
+	correct := 0
+	for i := 0; i < pts.Rows(); i++ {
+		if ens.Predict(pts.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(pts.Rows()) < 0.9 {
+		t.Fatalf("ensemble-bucketed SVM training accuracy = %d/%d", correct, pts.Rows())
+	}
+	// Merging across tables can only coarsen the partition: never more
+	// buckets than the single-table split.
+	single := lsh.PartitionWith(e.Families()[0], pts, 1)
+	if ens.Buckets() > single.NumBuckets() {
+		t.Fatalf("ensemble produced %d buckets, single table %d", ens.Buckets(), single.NumBuckets())
+	}
+}

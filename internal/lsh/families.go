@@ -27,9 +27,38 @@ type Family interface {
 
 var _ Family = (*Hasher)(nil)
 
+// MarginFamily is a Family that can report how confidently each
+// signature bit was decided: margins[i] is the distance of the point to
+// bit i's decision boundary, in the family's own projection units. The
+// multi-probe generator flips low-margin bits first; families without a
+// meaningful margin (MinHash, p-stable cells) fall back to a plain
+// Hamming-ball probe order.
+type MarginFamily interface {
+	Family
+	// SignatureMargins computes the signature and fills margins[0:Bits()]
+	// with each bit's decision-boundary distance. margins must have at
+	// least Bits() capacity.
+	SignatureMargins(x []float64, margins []float64) uint64
+}
+
+// Refittable is a Family that can derive an independent sibling for an
+// additional ensemble table: Refit(t) must return a family drawn from a
+// t-derived seed so that tables hash independently. Families fitted
+// from data (the span/threshold Hasher) are refitted by FitEnsemble
+// instead and do not need this.
+type Refittable interface {
+	Family
+	Refit(table int) (Family, error)
+}
+
 // PartitionWith hashes every row of points with the family and builds
-// the merged bucket partition, like Hasher.Partition but for any Family.
-func PartitionWith(f Family, points *matrix.Dense, maxHamming int) *Partition {
+// the merged bucket partition — the single partition entry point shared
+// by Hasher.Partition and every other family. An *Ensemble family runs
+// its full multi-table, multi-probe partition.
+func PartitionWith(f Family, points PointSource, maxHamming int) *Partition {
+	if e, ok := f.(*Ensemble); ok {
+		return e.PartitionPoints(points, maxHamming)
+	}
 	n := points.Rows()
 	sigs := make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -77,6 +106,12 @@ func (s *SimHash) Bits() int { return s.planes.Rows() }
 
 // Signature implements Family.
 func (s *SimHash) Signature(x []float64) uint64 {
+	return s.SignatureMargins(x, nil)
+}
+
+// SignatureMargins implements MarginFamily: a bit's margin is the
+// absolute centered projection onto its hyperplane.
+func (s *SimHash) SignatureMargins(x []float64, margins []float64) uint64 {
 	var sig uint64
 	for i := 0; i < s.planes.Rows(); i++ {
 		plane := s.planes.Row(i)
@@ -86,6 +121,9 @@ func (s *SimHash) Signature(x []float64) uint64 {
 		}
 		if dot >= 0 {
 			sig |= 1 << uint(i)
+		}
+		if margins != nil {
+			margins[i] = math.Abs(dot)
 		}
 	}
 	return sig
@@ -171,6 +209,7 @@ func (p *PStable) Signature(x []float64) uint64 {
 // signatures remain Hamming-comparable.
 type MinHash struct {
 	a, b []uint64
+	seed int64
 }
 
 // FitMinHash draws m universal-hash permutations.
@@ -179,12 +218,19 @@ func FitMinHash(m int, seed int64) (*MinHash, error) {
 		return nil, fmt.Errorf("lsh: M=%d out of range [1,%d]", m, MaxBits)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	mh := &MinHash{a: make([]uint64, m), b: make([]uint64, m)}
+	mh := &MinHash{a: make([]uint64, m), b: make([]uint64, m), seed: seed}
 	for i := 0; i < m; i++ {
 		mh.a[i] = uint64(rng.Int63())<<1 | 1 // odd multiplier
 		mh.b[i] = uint64(rng.Int63())
 	}
 	return mh, nil
+}
+
+// Refit implements Refittable: table t draws its permutations from a
+// t-derived seed, so ensemble tables hash independently. MinHash has no
+// per-bit margin, so probing falls back to the Hamming ball.
+func (mh *MinHash) Refit(table int) (Family, error) {
+	return FitMinHash(len(mh.a), mh.seed+int64(table)*ensembleSeedStride)
 }
 
 // Bits implements Family.
@@ -300,6 +346,12 @@ func (s *Spectral) Bits() int { return s.directions.Rows() }
 
 // Signature implements Family.
 func (s *Spectral) Signature(x []float64) uint64 {
+	return s.SignatureMargins(x, nil)
+}
+
+// SignatureMargins implements MarginFamily: a bit's margin is the
+// distance of the principal-direction projection to its median split.
+func (s *Spectral) SignatureMargins(x []float64, margins []float64) uint64 {
 	var sig uint64
 	for i := 0; i < s.directions.Rows(); i++ {
 		dir := s.directions.Row(i)
@@ -309,6 +361,9 @@ func (s *Spectral) Signature(x []float64) uint64 {
 		}
 		if dot > s.medians[i] {
 			sig |= 1 << uint(i)
+		}
+		if margins != nil {
+			margins[i] = math.Abs(dot - s.medians[i])
 		}
 	}
 	return sig

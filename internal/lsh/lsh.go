@@ -306,6 +306,26 @@ func (h *Hasher) Signature(x []float64) uint64 {
 	return sig
 }
 
+// SignatureMargins implements MarginFamily: bit i's margin is the
+// point's distance to the threshold along the hashing dimension,
+// |x[dims[i]] - thresholds[i]|. Margins are only compared against each
+// other within one point, so the per-dimension scale difference is
+// acceptable: a point sitting on a valley boundary in any dimension is
+// the one whose bucket assignment was least certain there.
+func (h *Hasher) SignatureMargins(x []float64, margins []float64) uint64 {
+	var sig uint64
+	for i, dim := range h.dims {
+		d := x[dim] - h.thresholds[i]
+		if d > 0 {
+			sig |= 1 << uint(i)
+		}
+		if margins != nil {
+			margins[i] = math.Abs(d)
+		}
+	}
+	return sig
+}
+
 const (
 	// signatureBlockRows is the fixed row-block edge of the parallel
 	// signature pass; each point's signature is a pure function of its

@@ -4,6 +4,13 @@ import (
 	"sort"
 )
 
+// PointSource provides row access to the dataset being hashed.
+// *matrix.Dense satisfies it; adapters can expose any row-major store.
+type PointSource interface {
+	Rows() int
+	Row(int) []float64
+}
+
 // Bucket is one group of points that will share a sub-similarity
 // matrix: the indices of the dataset rows it contains and the signature
 // that identifies it (after merging, the signature of the largest
@@ -24,17 +31,11 @@ type Partition struct {
 // whose signatures are within maxHamming bits of each other (the paper
 // merges at Hamming distance <= M-P with P = M-1, i.e. distance 1, so
 // the Eq. 6 constant-time test applies; larger radii fall back to a
-// popcount comparison). maxHamming < 0 disables merging.
-func (h *Hasher) Partition(points interface {
-	Rows() int
-	Row(int) []float64
-}, maxHamming int) *Partition {
-	n := points.Rows()
-	sigs := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		sigs[i] = h.Signature(points.Row(i))
-	}
-	return PartitionSignatures(sigs, maxHamming)
+// popcount comparison). maxHamming < 0 disables merging. It is
+// PartitionWith specialized to the paper's hasher; both entry points
+// share one implementation.
+func (h *Hasher) Partition(points PointSource, maxHamming int) *Partition {
+	return PartitionWith(h, points, maxHamming)
 }
 
 // PartitionSignatures builds the bucket partition from precomputed

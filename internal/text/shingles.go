@@ -1,0 +1,41 @@
+package text
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Shingles returns the contiguous k-token shingles of a token stream,
+// each joined with a single space. Streams shorter than k yield one
+// shingle covering the whole stream (or none when empty), so very
+// short documents still land somewhere.
+func Shingles(tokens []string, k int) []string {
+	if len(tokens) == 0 || k < 1 {
+		return nil
+	}
+	if len(tokens) < k {
+		return []string{strings.Join(tokens, " ")}
+	}
+	out := make([]string, 0, len(tokens)-k+1)
+	for i := 0; i+k <= len(tokens); i++ {
+		out = append(out, strings.Join(tokens[i:i+k], " "))
+	}
+	return out
+}
+
+// ShingleVector hashes a document's k-shingle set into a dims-wide
+// binary indicator vector: component h(s) mod dims is 1 when shingle s
+// occurs. The sparse support is exactly what min-wise hashing consumes,
+// so the vector feeds lsh.MinHash without a vocabulary pass.
+func ShingleVector(tokens []string, k, dims int) []float64 {
+	v := make([]float64, dims)
+	if dims < 1 {
+		return v
+	}
+	for _, s := range Shingles(tokens, k) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(s)) // fnv's Write never fails
+		v[h.Sum64()%uint64(dims)] = 1
+	}
+	return v
+}

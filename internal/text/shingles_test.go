@@ -1,0 +1,50 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShingles(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	got := Shingles(toks, 2)
+	want := []string{"a b", "b c", "c d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Shingles = %v, want %v", got, want)
+	}
+	if got := Shingles(toks, 1); len(got) != 4 {
+		t.Fatalf("k=1 shingles = %v", got)
+	}
+	// Shorter than k: one whole-stream shingle.
+	if got := Shingles([]string{"x", "y"}, 3); !reflect.DeepEqual(got, []string{"x y"}) {
+		t.Fatalf("short stream shingles = %v", got)
+	}
+	if got := Shingles(nil, 3); got != nil {
+		t.Fatalf("empty stream shingles = %v", got)
+	}
+}
+
+func TestShingleVector(t *testing.T) {
+	a := ShingleVector([]string{"alpha", "beta", "gamma"}, 2, 64)
+	if len(a) != 64 {
+		t.Fatalf("dims = %d", len(a))
+	}
+	nz := 0
+	for _, v := range a {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz == 0 || nz > 2 {
+		t.Fatalf("2 shingles set %d components", nz)
+	}
+	// Deterministic, and order-sensitive like real shingling.
+	b := ShingleVector([]string{"alpha", "beta", "gamma"}, 2, 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ShingleVector not deterministic")
+	}
+	c := ShingleVector([]string{"gamma", "beta", "alpha"}, 2, 64)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("reversed token order should change the shingle set")
+	}
+}
