@@ -1,0 +1,107 @@
+package main
+
+// The embed-and-conquer wire benchmark: the shipped DASC driver run
+// end-to-end over a real 2-worker TCP cluster, once with raw vectors in
+// the stage-2 records and once with map-side embedded d′-dim records.
+// Both entries store the measured shuffle bytes from the MapReduce
+// counters, so the BENCH trail records the wire reduction (the embedded
+// entry's gramfrac is its shuffle traffic as a fraction of the raw
+// run's). The embedded run's labels are also checked bitwise against
+// the in-process driver — the wire format must not cost determinism.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+	"repro/internal/spectral"
+)
+
+// benchEmbedWire appends the embed wire entries to the report.
+func benchEmbedWire(add addFunc, quick bool) error {
+	n := 2048
+	if quick {
+		n = 512
+	}
+	// High-dimensional input (d=64) against a narrow embedding (d′=8):
+	// the regime where shipping features instead of coordinates pays.
+	data, err := dataset.Mixture(dataset.MixtureConfig{N: n, D: 64, K: 8, Noise: 0.03, Seed: 21})
+	if err != nil {
+		return err
+	}
+	rawCfg := core.Config{K: 32, Seed: 5}
+	embCfg := rawCfg
+	embCfg.EmbedDim, embCfg.EmbedCutoff = 8, 32
+
+	m, err := mapreduce.NewMasterTCP(mapreduce.TCPConfig{Addr: "127.0.0.1:0", MinWorkers: 2})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = m.Close() }()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A clean master shutdown surfaces as a nil or EOF return.
+			_ = mapreduce.RunWorker(m.Addr())
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.ConnectedWorkers() < 2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dascbench: embedwire workers did not join")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var rawRes, embRes *core.Result
+	var runErr error
+	rawEntry := add("embedwire/raw-tcp", 0, 0, func() {
+		if rawRes, err = core.ClusterMapReduceShipped(data.Points, rawCfg, m); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	embEntry := add("embedwire/embedded-tcp", 0, 0, func() {
+		if embRes, err = core.ClusterMapReduceShipped(data.Points, embCfg, m); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return runErr
+	}
+	if err := m.Close(); err != nil {
+		return err
+	}
+	wg.Wait()
+
+	if embRes.Solvers[spectral.SolverEmbedded] == 0 {
+		return fmt.Errorf("dascbench: embedwire never engaged the embedded solver: %v", embRes.Solvers)
+	}
+	rawEntry.ShuffleBytes = rawRes.MapReduce.ShuffleBytes
+	embEntry.ShuffleBytes = embRes.MapReduce.ShuffleBytes
+	embEntry.EmbedBytes = embRes.MapReduce.EmbedBytes
+	embEntry.GramFrac = float64(embEntry.ShuffleBytes) / float64(rawEntry.ShuffleBytes)
+
+	// Bitwise cross-driver identity on the embedded dial: the TCP
+	// shipped run must reproduce the in-process driver exactly.
+	local, err := core.Cluster(data.Points, embCfg)
+	if err != nil {
+		return err
+	}
+	for i := range local.Labels {
+		if local.Labels[i] != embRes.Labels[i] {
+			return fmt.Errorf("dascbench: embedwire label[%d] = %d over TCP, %d in-process",
+				i, embRes.Labels[i], local.Labels[i])
+		}
+	}
+	embEntry.Acc = 1 // labels bitwise-identical to the in-process driver
+
+	fmt.Printf("embedwire shuffle: raw %d B, embedded %d B (%.2fx reduction, %d embed B)\n",
+		rawEntry.ShuffleBytes, embEntry.ShuffleBytes,
+		float64(rawEntry.ShuffleBytes)/float64(embEntry.ShuffleBytes), embEntry.EmbedBytes)
+	return nil
+}

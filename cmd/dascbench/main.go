@@ -48,6 +48,11 @@ type Result struct {
 	Acc         float64 `json:"acc,omitempty"`
 	GramFrac    float64 `json:"gramfrac,omitempty"`
 	Silhouette  float64 `json:"silhouette,omitempty"`
+	// ShuffleBytes / EmbedBytes are the measured MapReduce counters of
+	// the embed wire benchmark (one run's shuffle traffic and map-side
+	// embedded record bytes); zero elsewhere.
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	EmbedBytes   int64 `json:"embed_bytes,omitempty"`
 }
 
 // Report is the BENCH_<n>.json document.
@@ -180,6 +185,10 @@ func run() error {
 	}
 
 	if err := benchDataPlane(add, *quick); err != nil {
+		return err
+	}
+
+	if err := benchEmbedWire(add, *quick); err != nil {
 		return err
 	}
 

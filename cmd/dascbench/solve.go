@@ -1,16 +1,19 @@
 package main
 
-// The per-bucket solve-engine benchmarks: one bucket-sized eigensolve
-// through spectral.ClusterBucket on the dense path and on the
-// thresholded-CSR sparse path, on identical blob data whose measured
-// fill sits well under the sparse ceiling. The sparse entry's gramfrac
-// records its CSR footprint as a fraction of the dense 4n² bytes, so
-// successive BENCH files track both the speedup and the compression.
+// The per-bucket solve-engine benchmarks: one bucket-sized problem
+// through spectral.ClusterBucket on all three engine policies — the
+// dense eigensolve, the thresholded-CSR sparse Lanczos, and the
+// embedded path (RFF transform + k-means, no Gram) at two embedding
+// widths — on identical blob data whose measured fill sits well under
+// the sparse ceiling. Each non-dense entry's gramfrac records its
+// working-set bytes as a fraction of the dense 4n², so successive BENCH
+// files track both the speedup and the compression.
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/spectral"
@@ -80,6 +83,29 @@ func benchSolve(add addFunc, quick bool) error {
 			solveErr = err
 		}
 	})
+
+	// The embedded policy at two embedding widths: same bucket, same
+	// kernel bandwidth, solve replaced by transform + k-means.
+	for _, dim := range []int{32, 64} {
+		emb, err := embed.NewRFF(pts.Cols(), dim, 1.0, 1)
+		if err != nil {
+			return err
+		}
+		embCfg := spectral.EngineConfig{K: 8, Seed: 1, Embedder: emb, EmbedCutoff: 256}
+		_, embStats, err := spectral.ClusterBucket(pts, indices, kf, embCfg, &buf)
+		if err != nil {
+			return err
+		}
+		if embStats.Solver != spectral.SolverEmbedded {
+			return fmt.Errorf("dascbench: embedded config chose %s", embStats.Solver)
+		}
+		embFrac := float64(embStats.GramBytes) / float64(denseStats.GramBytes)
+		add(fmt.Sprintf("solve/embedded-d%d", dim), 0, embFrac, func() {
+			if _, _, err := spectral.ClusterBucket(pts, indices, kf, embCfg, &buf); err != nil && solveErr == nil {
+				solveErr = err
+			}
+		})
+	}
 	if solveErr != nil {
 		return solveErr
 	}

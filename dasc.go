@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dataset"
+	"repro/internal/embed"
 	"repro/internal/emr"
 	"repro/internal/kernel"
 	"repro/internal/lsh"
@@ -166,6 +167,29 @@ func Gaussian(sigma float64) Kernel { return kernel.NewGaussian(sigma) }
 
 // Gram computes the full zero-diagonal similarity matrix.
 func Gram(points *Matrix, k Kernel) *Matrix { return kernel.Gram(points, k) }
+
+// ---- kernel embeddings ----
+
+// Embedder is a deterministic kernel feature map: TransformInto fills
+// d′-dimensional embedded rows whose dot products approximate the
+// kernel, so eigensolves become dot products (the embed-and-conquer
+// solve path). Enable it inside a DASC run with Config.EmbedDim and
+// Config.EmbedCutoff; the standalone constructors below serve callers
+// who want the features themselves.
+type Embedder = embed.Embedder
+
+// NewRFFEmbedder fits a seed-derived random Fourier feature map for the
+// Gaussian kernel of bandwidth sigma. dim must be even — the features
+// come in cos/sin pairs.
+func NewRFFEmbedder(inputDim, dim int, sigma float64, seed int64) (Embedder, error) {
+	return embed.NewRFF(inputDim, dim, sigma, seed)
+}
+
+// NewNystromEmbedder fits a Nyström feature map from `samples` landmark
+// rows of points, with dim <= samples output dimensions.
+func NewNystromEmbedder(points *Matrix, samples, dim int, sigma float64, seed int64) (Embedder, error) {
+	return embed.NewNystrom(points, samples, dim, sigma, seed)
+}
 
 // ---- LSH ----
 

@@ -52,30 +52,15 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 	perm := rng.Perm(n)
 	landmarks := perm[:m]
 
-	// W: landmark-landmark kernel with unit diagonal (the Nyström block
-	// must be positive definite, so keep k(x,x)=1 here).
-	w := matrix.NewDense(m, m)
-	for a := 0; a < m; a++ {
-		w.Set(a, a, 1)
-		xa := points.Row(landmarks[a])
-		for b := a + 1; b < m; b++ {
-			v := kf.Eval(xa, points.Row(landmarks[b]))
-			w.Set(a, b, v)
-			w.Set(b, a, v)
-		}
-	}
-	// C: all points vs landmarks.
-	c := matrix.NewDense(n, m)
-	for i := 0; i < n; i++ {
-		xi := points.Row(i)
-		row := c.Row(i)
-		for b := 0; b < m; b++ {
-			if landmarks[b] == i {
-				row[b] = 1
-				continue
-			}
-			row[b] = kf.Eval(xi, points.Row(landmarks[b]))
-		}
+	// Both kernel blocks go through the blocked recognized-kernel fast
+	// path (micro-tiled dot blocks over precomputed row norms) instead of
+	// per-pair scalar Eval loops. The cross path yields k(x,x)=1 exactly
+	// for coincident rows — the norm and dot terms cancel bitwise — so W
+	// keeps its unit diagonal and C its unit landmark entries without
+	// special-casing, and W stays bitwise symmetric for the eigensolver.
+	w, c, err := nystKernelBlocks(points, landmarks, kf)
+	if err != nil {
+		return nil, err
 	}
 
 	// Approximate degrees for normalization: d ~= C W^{-1} (C^T 1)
@@ -139,6 +124,27 @@ func NYST(points *matrix.Dense, cfg Config) (*Result, error) {
 		Fill:      float64(stored) / (float64(n) * float64(n)),
 		Elapsed:   time.Since(start),
 	}, nil
+}
+
+// nystKernelBlocks builds the Nyström kernel blocks W (m×m,
+// landmark-landmark) and C (n×m, all points vs landmarks) through
+// kernel.CrossGramInto's deterministic blocked path. Split out so the
+// byte-identity test can pin it against a scalar reference.
+func nystKernelBlocks(points *matrix.Dense, landmarks []int, kf kernel.Kernel) (w, c *matrix.Dense, err error) {
+	m := len(landmarks)
+	lm := matrix.NewDense(m, points.Cols())
+	for a, idx := range landmarks {
+		copy(lm.Row(a), points.Row(idx))
+	}
+	w = matrix.NewDense(m, m)
+	if err := kernel.CrossGramInto(w, lm, lm, kf); err != nil {
+		return nil, nil, fmt.Errorf("baseline: NYST landmark block: %w", err)
+	}
+	c = matrix.NewDense(points.Rows(), m)
+	if err := kernel.CrossGramInto(c, points, lm, kf); err != nil {
+		return nil, nil, fmt.Errorf("baseline: NYST cross block: %w", err)
+	}
+	return w, c, nil
 }
 
 // applyPinv computes U diag(1/vals) U^T x, skipping tiny eigenvalues.

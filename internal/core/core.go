@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/analytic"
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/kmeans"
 	"repro/internal/lsh"
@@ -98,7 +99,25 @@ type Config struct {
 	// kernel entries below it are dropped before the eigensolve. Only
 	// consulted when SparseCutoff > 0; must lie in [0, 1).
 	Epsilon float64
+	// EmbedDim enables the embed-and-conquer solve path: when > 0, the
+	// plan fits a random Fourier feature map of this dimension (must be
+	// even — the features come in cos/sin pairs) and buckets of at least
+	// EmbedCutoff points skip the Gram + eigensolve entirely, running
+	// k-means on embedded rows instead. The MapReduce shipped driver
+	// embeds map-side and ships d′-dim records. 0 (the default) keeps
+	// every bucket on the exact Gram path, byte-identical to prior
+	// releases.
+	EmbedDim int
+	// EmbedCutoff is the bucket size at or above which the embedded
+	// solve runs. Only consulted when EmbedDim > 0; 0 then defaults to
+	// DefaultEmbedCutoff.
+	EmbedCutoff int
 }
+
+// DefaultEmbedCutoff is the bucket size at which the embedded solve
+// starts paying: below it the dense engine's Gram + eigensolve is
+// cheaper than the transform + k-means at useful d′.
+const DefaultEmbedCutoff = 256
 
 // Solver labels for buckets that never reach the spectral engine; the
 // engine's own choices are reported as the spectral.Solver* constants.
@@ -214,6 +233,18 @@ func (c Config) resolve(n int) (Config, int, error) {
 	if c.Epsilon < 0 || c.Epsilon >= 1 || math.IsNaN(c.Epsilon) {
 		return c, 0, fmt.Errorf("%w: Epsilon=%v outside [0,1)", ErrBadConfig, c.Epsilon)
 	}
+	if c.EmbedDim < 0 {
+		return c, 0, fmt.Errorf("%w: EmbedDim=%d negative", ErrBadConfig, c.EmbedDim)
+	}
+	if c.EmbedDim > 0 && c.EmbedDim%2 != 0 {
+		return c, 0, fmt.Errorf("%w: EmbedDim=%d must be even (cos/sin feature pairs)", ErrBadConfig, c.EmbedDim)
+	}
+	if c.EmbedCutoff < 0 {
+		return c, 0, fmt.Errorf("%w: EmbedCutoff=%d negative", ErrBadConfig, c.EmbedCutoff)
+	}
+	if c.EmbedDim > 0 && c.EmbedCutoff == 0 {
+		c.EmbedCutoff = DefaultEmbedCutoff
+	}
 	return c, radius, nil
 }
 
@@ -305,7 +336,7 @@ func solveBucketsParallel(ctx context.Context, p *Plan, part *lsh.Partition) ([]
 					return
 				}
 				b := part.Buckets[bi]
-				sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
+				sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, p.Embedder, &scratch)
 				if err != nil {
 					errs[bi] = fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 					continue
@@ -340,17 +371,31 @@ func BucketK(k, ni, n int) int {
 	return ki
 }
 
+// willEmbed reports whether the embed policy claims a bucket of ni
+// points in a dataset of n — the engine's gate plus the trivial-bucket
+// short-circuits that precede it in clusterOneBucket. The shipped
+// driver commits to the embedded record shape with this predicate, so
+// it must stay exactly in step with the engine's decision.
+func willEmbed(cfg Config, ni, n int) bool {
+	if cfg.EmbedDim <= 0 || cfg.EmbedCutoff <= 0 || ni < cfg.EmbedCutoff {
+		return false
+	}
+	ki := BucketK(cfg.K, ni, n)
+	return ki > 1 && ki < ni
+}
+
 // clusterOneBucket runs the per-bucket pipeline through the spectral
 // solve engine: sub-Gram (dense or thresholded CSR per the engine's
-// policy), normalized Laplacian, eigenvectors, K-means. Tiny buckets
-// short-circuit with SolverTrivial.
+// policy), normalized Laplacian, eigenvectors, K-means — or, for
+// buckets the embed policy claims, kernel embedding + k-means with no
+// Gram at all. Tiny buckets short-circuit with SolverTrivial.
 //
-// Dense sub-Grams are built inside *buf (grown as needed and reused
-// across calls — each worker owns one) and consumed in place: the
-// Laplacian overwrites it, so nothing retains the buffer after the
-// solve. buf may point to a nil slice on first use; sparse solves never
-// touch it.
-func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Kernel, buf *[]float64) (BucketSolution, error) {
+// Dense sub-Grams (and embedded row blocks) are built inside *buf
+// (grown as needed and reused across calls — each worker owns one) and
+// consumed in place: the Laplacian overwrites it, so nothing retains
+// the buffer after the solve. buf may point to a nil slice on first
+// use; sparse solves never touch it.
+func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf kernel.Kernel, emb embed.Embedder, buf *[]float64) (BucketSolution, error) {
 	ni := len(indices)
 	ki := BucketK(cfg.K, ni, n)
 	if ni == 1 || ki == 1 {
@@ -368,6 +413,8 @@ func clusterOneBucket(points *matrix.Dense, indices []int, cfg Config, n int, kf
 		Seed:         cfg.Seed + int64(indices[0]),
 		SparseCutoff: cfg.SparseCutoff,
 		Epsilon:      cfg.Epsilon,
+		Embedder:     emb,
+		EmbedCutoff:  cfg.EmbedCutoff,
 	}
 	res, stats, err := spectral.ClusterBucket(points, indices, kf, ecfg, buf)
 	if err == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/analytic"
+	"repro/internal/embed"
 	"repro/internal/emr"
 	"repro/internal/lsh"
 	"repro/internal/matrix"
@@ -62,6 +63,11 @@ func EMRFlowContext(ctx context.Context, points *matrix.Dense, cfg Config, beta 
 // of size Ni with Ki clusters costs beta*(2 Ni^2 + 2 Ki Ni); collection
 // is a single linear pass. Memory per bucket is the 4 Ni^2-byte
 // sub-Gram.
+//
+// With embed mode on (EmbedDim > 0), the map side additionally pays
+// beta*d′ per point for the feature transform, and buckets the embed
+// policy claims become dot-product-bound: cost beta*(2 Ni d′ + 2 Ki Ni)
+// and memory 8·Ni·d′ (the embedded rows), no Gram term at all.
 func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.JobFlow {
 	if beta <= 0 {
 		beta = analytic.DefaultModel().Beta
@@ -74,6 +80,11 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 	if tables < 1 {
 		tables = 1
 	}
+	embedDim := cfg.EmbedDim
+	embedCutoff := cfg.EmbedCutoff
+	if embedDim > 0 && embedCutoff == 0 {
+		embedCutoff = DefaultEmbedCutoff // mirror resolve for direct callers
+	}
 	const splitSize = 1024
 	var lshTasks []emr.Task
 	for start := 0; start < n; start += splitSize {
@@ -81,9 +92,13 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 		if start+size > n {
 			size = n - start
 		}
+		mapCost := beta * float64(m) * float64(tables) * float64(size)
+		if embedDim > 0 {
+			mapCost += beta * float64(embedDim) * float64(size)
+		}
 		lshTasks = append(lshTasks, emr.Task{
 			Name:        fmt.Sprintf("lsh-split-%d", start/splitSize),
-			Cost:        beta * float64(m) * float64(tables) * float64(size),
+			Cost:        mapCost,
 			MemoryBytes: int64(size) * int64(dims) * 8,
 		})
 	}
@@ -92,10 +107,16 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 	for _, b := range part.Buckets {
 		ni := len(b.Indices)
 		ki := BucketK(cfg.K, ni, n)
+		cost := beta * (2*float64(ni)*float64(ni) + 2*float64(ki)*float64(ni))
+		mem := 4 * int64(ni) * int64(ni)
+		if embedDim > 0 && ni >= embedCutoff && ki > 1 && ki < ni {
+			cost = beta * (2*float64(ni)*float64(embedDim) + 2*float64(ki)*float64(ni))
+			mem = embed.Bytes(ni, embedDim)
+		}
 		clusterTasks = append(clusterTasks, emr.Task{
 			Name:        fmt.Sprintf("bucket-%x", b.Signature),
-			Cost:        beta * (2*float64(ni)*float64(ni) + 2*float64(ki)*float64(ni)),
-			MemoryBytes: 4 * int64(ni) * int64(ni),
+			Cost:        cost,
+			MemoryBytes: mem,
 		})
 	}
 

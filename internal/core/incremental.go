@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/lsh"
 	"repro/internal/matrix"
@@ -75,9 +76,15 @@ func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partit
 	n := p.Points.Rows()
 	// Waves are packed against the dense worst case; a sparse solve only
 	// shrinks what is actually resident, so the budget still holds.
+	// Buckets the embed policy will claim are packed at their embedded
+	// footprint (8·Ni·d′ rows, no Gram), matching the engine's reported
+	// GramBytes so PeakGramBytes stays an upper bound on residency.
 	gramOf := func(bi int) int64 {
-		ni := int64(len(part.Buckets[bi].Indices))
-		return 4 * ni * ni
+		ni := len(part.Buckets[bi].Indices)
+		if p.Embedder != nil && willEmbed(p.Cfg, ni, n) {
+			return embed.Bytes(ni, p.Embedder.Dim())
+		}
+		return 4 * int64(ni) * int64(ni)
 	}
 
 	// Pack buckets into waves first-fit-decreasing under the budget.
@@ -127,7 +134,7 @@ func (r *incrementalRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partit
 				return nil, fmt.Errorf("core: incremental: %w", err)
 			}
 			b := part.Buckets[bi]
-			sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, &scratch)
+			sol, err := clusterOneBucket(p.Points, b.Indices, p.Cfg, n, kf, p.Embedder, &scratch)
 			if err != nil {
 				return nil, fmt.Errorf("core: bucket %x: %w", b.Signature, err)
 			}

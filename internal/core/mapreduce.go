@@ -7,6 +7,7 @@ import (
 	"math"
 	"strconv"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/lsh"
 	"repro/internal/mapreduce"
@@ -74,7 +75,7 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signatu
 }
 
 func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
-	clusterJob := ClusterJob(r.prefix, p.Points, p.Cfg, p.Sigma)
+	clusterJob := ClusterJob(r.prefix, p.Points, p.Cfg, p.Sigma, p.Embedder)
 	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
 	for bi, b := range part.Buckets {
 		stage2Input[bi] = mapreduce.Pair{
@@ -247,9 +248,13 @@ func LSHJob(prefix string, points *matrix.Dense, hashers []*lsh.Hasher) *mapredu
 
 // ClusterJob builds the stage-2 MapReduce job (Algorithm 2): each
 // reduce key is one merged bucket; the reducer computes the bucket's
-// sub-similarity matrix and runs spectral clustering, emitting one
-// (bucketSig, point/label/k) record per point.
-func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) *mapreduce.Job {
+// sub-similarity matrix and runs spectral clustering — or, with embed
+// mode on, embeds the bucket rows and runs k-means — emitting one
+// (bucketSig, point/label/k) record per point. This closure runner
+// shares the driver's memory, so only indices travel through the
+// shuffle either way; the shipped runner is where map-side embedding
+// shrinks the wire payloads.
+func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64, emb embed.Embedder) *mapreduce.Job {
 	n := points.Rows()
 	kf := kernel.NewGaussian(sigma)
 	job := &mapreduce.Job{
@@ -268,7 +273,7 @@ func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64) 
 				if err != nil {
 					return err
 				}
-				sol, err := clusterOneBucket(points, indices, cfg, n, kf, &scratch)
+				sol, err := clusterOneBucket(points, indices, cfg, n, kf, emb, &scratch)
 				if err != nil {
 					return err
 				}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/lsh"
 	"repro/internal/mapreduce"
@@ -50,6 +51,11 @@ type Plan struct {
 	// which ship every table's parameters to worker processes); nil
 	// when a custom Family from Config is in use.
 	Hasher *lsh.Hasher
+	// Embedder is the fitted kernel embedding of the embed-and-conquer
+	// solve path; non-nil exactly when Cfg.EmbedDim > 0. It is a pure
+	// function of (dataset dims, EmbedDim, Sigma, Seed), so every driver
+	// fits bitwise the same map.
+	Embedder embed.Embedder
 }
 
 // Hashers returns the fitted span/threshold hasher of every ensemble
@@ -140,6 +146,13 @@ func NewPlan(points *matrix.Dense, cfg Config, needsHasher bool) (*Plan, error) 
 	p.Sigma = cfg.Sigma
 	if p.Sigma <= 0 {
 		p.Sigma = kernel.MedianSigma(points, 512, cfg.Seed)
+	}
+	if cfg.EmbedDim > 0 {
+		emb, err := embed.NewRFF(points.Cols(), cfg.EmbedDim, p.Sigma, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: embed: %w", err)
+		}
+		p.Embedder = emb
 	}
 	p.Cfg = cfg
 	return p, nil

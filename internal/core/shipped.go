@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"time"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/kmeans"
 	"repro/internal/lsh"
@@ -52,7 +54,11 @@ type lshConf struct {
 
 // clusterConf is the stage-2 configuration. SparseCutoff and Epsilon
 // travel with the job so remote workers apply the driver's solve-engine
-// policy; zero values reproduce the dense path exactly.
+// policy; zero values reproduce the dense path exactly. EmbedDim > 0
+// switches the stage-2 record format to kind-byte framing (see
+// mapreduce.EmbedBucketKind): buckets the embed policy claims arrive as
+// already-embedded d′-dim rows and the reducer runs only the k-means
+// half, never refitting the feature map.
 type clusterConf struct {
 	N            int
 	K            int
@@ -60,6 +66,8 @@ type clusterConf struct {
 	Seed         int64
 	SparseCutoff int
 	Epsilon      float64
+	EmbedDim     int
+	EmbedCutoff  int
 }
 
 // bucketPayload is one stage-2 record: a bucket's points shipped by
@@ -144,7 +152,8 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 	if err := gobDecode(conf, &c); err != nil {
 		return nil, fmt.Errorf("core: cluster conf: %w", err)
 	}
-	if c.N < 1 || c.K < 1 || c.Sigma <= 0 {
+	if c.N < 1 || c.K < 1 || c.Sigma <= 0 || c.EmbedDim < 0 ||
+		(c.EmbedDim > 0 && c.EmbedCutoff < 1) {
 		return nil, fmt.Errorf("core: cluster conf %+v invalid", c)
 	}
 	return &mapreduce.Job{
@@ -156,7 +165,32 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 		Reduce: func(key string, values [][]byte, emit mapreduce.Emit) error {
 			for _, v := range values {
 				var payload bucketPayload
-				if err := gobDecode(v, &payload); err != nil {
+				if c.EmbedDim > 0 {
+					// Embed mode frames every stage-2 value with a kind byte
+					// (bare gob can begin with any byte, so the discriminator
+					// is only trustworthy when the conf promises it exists).
+					if len(v) == 0 {
+						return fmt.Errorf("empty stage-2 record")
+					}
+					switch v[0] {
+					case mapreduce.EmbedBucketKind:
+						sol, indices, err := clusterEmbeddedShippedBucket(v, c)
+						if err != nil {
+							return err
+						}
+						for pos, idx := range indices {
+							emit(key, encodeLabel(int(idx), sol.Labels[pos], sol.K))
+						}
+						emit(key, encodeBucketStats(sol))
+						continue
+					case mapreduce.RawBucketKind:
+						if err := gobDecode(v[1:], &payload); err != nil {
+							return fmt.Errorf("bucket payload: %w", err)
+						}
+					default:
+						return fmt.Errorf("stage-2 record kind %q", v[0])
+					}
+				} else if err := gobDecode(v, &payload); err != nil {
 					return fmt.Errorf("bucket payload: %w", err)
 				}
 				ni := len(payload.Indices)
@@ -180,6 +214,42 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 			return nil
 		},
 	}, nil
+}
+
+// clusterEmbeddedShippedBucket is the reduce half of the embedded
+// solve: decode the d′-dim rows the driver embedded map-side and run
+// k-means on them, reporting the same stats the local engine's embedded
+// path does. The feature map never travels — only its output — so the
+// worker needs no kernel, no Gram scratch, and no eigensolver.
+func clusterEmbeddedShippedBucket(record []byte, c clusterConf) (BucketSolution, []int32, error) {
+	indices, dim, rows, err := mapreduce.ParseEmbedBucket(record)
+	if err != nil {
+		return BucketSolution{}, nil, err
+	}
+	ni := len(indices)
+	ki := BucketK(c.K, ni, c.N)
+	if ki <= 1 || ki >= ni {
+		// The driver only ships embedded records for 1 < ki < ni; anything
+		// else means the record and the configuration disagree.
+		return BucketSolution{}, nil, fmt.Errorf("embedded bucket of %d points plans %d clusters", ni, ki)
+	}
+	emb, err := matrix.NewDenseData(ni, dim, rows)
+	if err != nil {
+		return BucketSolution{}, nil, err
+	}
+	start := time.Now()
+	res, err := spectral.ClusterEmbeddedRows(emb, spectral.Config{K: ki, Seed: c.Seed + int64(indices[0])})
+	if err != nil {
+		return BucketSolution{}, nil, fmt.Errorf("embedded bucket: %w", err)
+	}
+	return BucketSolution{
+		Labels: res.Labels, K: ki,
+		Solver:     spectral.SolverEmbedded,
+		NNZ:        int64(ni) * int64(dim),
+		Fill:       float64(dim) / float64(ni),
+		SolveNanos: time.Since(start).Nanoseconds(),
+		GramBytes:  embed.Bytes(ni, dim),
+	}, indices, nil
 }
 
 // clusterShippedBucket mirrors clusterOneBucket on a shipped bucket,
@@ -315,6 +385,7 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 	clusterBlob, err := gobEncode(clusterConf{
 		N: n, K: p.Cfg.K, Sigma: p.Sigma, Seed: p.Cfg.Seed,
 		SparseCutoff: p.Cfg.SparseCutoff, Epsilon: p.Cfg.Epsilon,
+		EmbedDim: p.Cfg.EmbedDim, EmbedCutoff: p.Cfg.EmbedCutoff,
 	})
 	if err != nil {
 		return nil, err
@@ -327,21 +398,38 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 	clusterJob.Conf = clusterBlob
 	stage2 := make([]mapreduce.Pair, len(part.Buckets))
 	d := p.Points.Cols()
+	embedOn := p.Cfg.EmbedDim > 0 && p.Embedder != nil
+	var embScratch []float64
 	for bi, b := range part.Buckets {
-		payload := bucketPayload{
-			Indices: make([]int32, len(b.Indices)),
-			Dims:    d,
-			Vectors: make([]float64, 0, len(b.Indices)*d),
+		var value []byte
+		if embedOn && willEmbed(p.Cfg, len(b.Indices), n) {
+			value, err = r.encodeEmbeddedBucket(p, b.Indices, &embScratch)
+			if err != nil {
+				return nil, fmt.Errorf("core: embed bucket %x: %w", b.Signature, err)
+			}
+		} else {
+			payload := bucketPayload{
+				Indices: make([]int32, len(b.Indices)),
+				Dims:    d,
+				Vectors: make([]float64, 0, len(b.Indices)*d),
+			}
+			for i, idx := range b.Indices {
+				payload.Indices[i] = int32(idx)
+				payload.Vectors = append(payload.Vectors, p.Points.Row(idx)...)
+			}
+			blob, err := gobEncode(payload)
+			if err != nil {
+				return nil, err
+			}
+			if embedOn {
+				// Embed mode frames every record; legacy mode ships bare gob
+				// so EmbedDim=0 runs stay byte-identical to prior releases.
+				value = append([]byte{mapreduce.RawBucketKind}, blob...)
+			} else {
+				value = blob
+			}
 		}
-		for i, idx := range b.Indices {
-			payload.Indices[i] = int32(idx)
-			payload.Vectors = append(payload.Vectors, p.Points.Row(idx)...)
-		}
-		blob, err := gobEncode(payload)
-		if err != nil {
-			return nil, err
-		}
-		stage2[bi] = mapreduce.Pair{Key: fmt.Sprintf("%016x", b.Signature), Value: blob}
+		stage2[bi] = mapreduce.Pair{Key: fmt.Sprintf("%016x", b.Signature), Value: value}
 	}
 	labelPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2)
 	if err != nil {
@@ -349,4 +437,32 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 	}
 	r.ctr.Add(ctr)
 	return solutionsFromLabelPairs(part, labelPairs, n)
+}
+
+// encodeEmbeddedBucket runs the map-side half of the embedded solve:
+// push one bucket's rows through the plan's feature map and encode the
+// wire record, metering transform time and record bytes into the
+// runner's counters. The d′-dim record replaces ni·d raw coordinates
+// with ni·d′ embedded ones — the shuffle-byte reduction the
+// embed-and-conquer deployment exists for.
+func (r *shippedRunner) encodeEmbeddedBucket(p *Plan, indices []int, scratch *[]float64) ([]byte, error) {
+	ni := len(indices)
+	dim := p.Embedder.Dim()
+	if cap(*scratch) < ni*dim {
+		*scratch = make([]float64, ni*dim)
+	}
+	rows := (*scratch)[:ni*dim]
+	start := time.Now()
+	err := p.Embedder.TransformInto(rows, p.Points, indices)
+	r.ctr.EmbedNanos += time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	idx32 := make([]int32, ni)
+	for i, v := range indices {
+		idx32[i] = int32(v)
+	}
+	rec := mapreduce.AppendEmbedBucket(make([]byte, 0, 1+2*binary.MaxVarintLen64+ni*(4+8*dim)), idx32, dim, rows)
+	r.ctr.EmbedBytes += int64(len(rec))
+	return rec, nil
 }

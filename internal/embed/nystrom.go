@@ -1,0 +1,152 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// nystromSeedSalt decorrelates landmark sampling from the RFF frequency
+// stream and every other Config.Seed consumer.
+const nystromSeedSalt = 0x4e59535453414c54 // "NYSTSALT"
+
+// eigenFloor is the smallest landmark eigenvalue the projection keeps;
+// directions below it are numerically null and map to zero coordinates.
+const eigenFloor = 1e-10
+
+// Nystrom is the landmark embedding of internal/baseline/nystrom.go
+// recast as an Embedder: sample m landmarks, eigendecompose the
+// landmark kernel block W = U Λ Uᵀ, and embed any point as
+//
+//	φ(x) = Λ^{-1/2} Uᵀ k_x,   k_x[j] = k(x, landmark_j)
+//
+// so ⟨φ(x), φ(y)⟩ = k_xᵀ W⁺ k_y — exactly the Nyström approximation of
+// k(x, y). Unlike RFF the map is data-dependent (fitted to the landmark
+// sample) and spends its whole budget on the kernel's actual spectrum,
+// so it usually needs a smaller d′ for the same approximation quality.
+type Nystrom struct {
+	landmarks *matrix.Dense // m × d sampled rows, contiguous
+	projT     *matrix.Dense // dim × m: row j = U[:,j] / sqrt(λ_j)
+	kf        *kernel.GaussianKernel
+	inputDim  int
+	dim       int
+}
+
+// NewNystrom fits a Nyström embedding on a seed-derived landmark sample
+// of the given points: samples rows are drawn without replacement, the
+// landmark kernel block runs through the blocked cross-kernel engine,
+// and its top dim eigenpairs form the projection. Requires
+// dim <= samples <= n. Eigen-directions with λ <= 1e-10 (a rank-deficient
+// landmark block) become zero coordinates, keeping Dim() stable.
+func NewNystrom(points *matrix.Dense, samples, dim int, sigma float64, seed int64) (*Nystrom, error) {
+	n, d := points.Rows(), points.Cols()
+	if dim <= 0 {
+		return nil, fmt.Errorf("embed: Nystrom dim %d must be positive", dim)
+	}
+	if samples < dim {
+		return nil, fmt.Errorf("embed: Nystrom samples %d < dim %d", samples, dim)
+	}
+	if samples > n {
+		return nil, fmt.Errorf("embed: Nystrom samples %d exceeds %d points", samples, n)
+	}
+	if sigma <= 0 {
+		return nil, fmt.Errorf("embed: Nystrom sigma %v must be positive", sigma)
+	}
+	kf := kernel.NewGaussian(sigma)
+	rng := rand.New(rand.NewSource(seed ^ nystromSeedSalt))
+	perm := rng.Perm(n)
+	landmarks := matrix.NewDense(samples, d)
+	for a := 0; a < samples; a++ {
+		copy(landmarks.Row(a), points.Row(perm[a]))
+	}
+
+	// W: landmark-landmark kernel block. The cross engine yields exact
+	// unit self pairs on the diagonal and a bitwise-symmetric matrix
+	// (every (a,b) and (b,a) run the same single-chain accumulation), so
+	// it feeds EigenSym directly.
+	w, err := kernel.CrossGram(landmarks, landmarks, kf)
+	if err != nil {
+		return nil, fmt.Errorf("embed: Nystrom landmark block: %w", err)
+	}
+	vals, vecs, err := linalg.EigenSym(w)
+	if err != nil {
+		return nil, fmt.Errorf("embed: Nystrom landmark eigensolver: %w", err)
+	}
+	projT := matrix.NewDense(dim, samples)
+	for j := 0; j < dim && j < len(vals); j++ {
+		if vals[j] <= eigenFloor {
+			break // descending order: everything after is null too
+		}
+		row := projT.Row(j)
+		inv := 1 / math.Sqrt(vals[j])
+		for a := 0; a < samples; a++ {
+			row[a] = vecs.At(a, j) * inv
+		}
+	}
+	return &Nystrom{landmarks: landmarks, projT: projT, kf: kf, inputDim: d, dim: dim}, nil
+}
+
+// Dim returns the embedded dimension d′.
+func (ny *Nystrom) Dim() int { return ny.dim }
+
+// InputDim returns the fitted point dimensionality.
+func (ny *Nystrom) InputDim() int { return ny.inputDim }
+
+// TransformInto implements Embedder: per point-row block, the kernel
+// responses against the fixed landmark set come from the bit-uniform
+// cross engine, then one DotBlock pass against the fixed-blocked
+// projection rows turns them into coordinates. Both stages are pure
+// per-row functions of the fitted parameters, so the output is bitwise
+// identical across subsets, drivers, and worker counts.
+func (ny *Nystrom) TransformInto(dst []float64, points *matrix.Dense, indices []int) error {
+	n, err := checkTransform(dst, points, indices, ny.inputDim, ny.dim)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	gatherTok, rows := gatherRows(points, indices)
+	if gatherTok != nil {
+		defer putScratch(gatherTok)
+	}
+	d := ny.inputDim
+	m := ny.landmarks.Rows()
+	pd := ny.projT.Data()
+	forEachRowBlock(n, func(i0, i1 int) {
+		nr := i1 - i0
+		kxTok, kxBuf := getScratch(nr * m)
+		defer putScratch(kxTok)
+		dotsTok, dots := getScratch(blockRows * blockRows)
+		defer putScratch(dotsTok)
+		// Shapes were validated in checkTransform and the buffers are
+		// sized here, so construction/cross failures are programming
+		// bugs, not runtime conditions.
+		sub, derr := matrix.NewDenseData(nr, d, rows[i0*d:i1*d])
+		if derr != nil {
+			matrix.Panicf("embed: Nystrom row view: %v", derr)
+		}
+		kx, derr := matrix.NewDenseData(nr, m, kxBuf)
+		if derr != nil {
+			matrix.Panicf("embed: Nystrom response view: %v", derr)
+		}
+		if cerr := kernel.CrossGramInto(kx, sub, ny.landmarks, ny.kf); cerr != nil {
+			matrix.Panicf("embed: Nystrom cross block: %v", cerr)
+		}
+		for j0 := 0; j0 < ny.dim; j0 += blockRows {
+			j1 := min(ny.dim, j0+blockRows)
+			nc := j1 - j0
+			block := dots[:nr*nc]
+			matrix.DotBlock(kxBuf, nr, pd[j0*m:j1*m], nc, m, block)
+			for i := i0; i < i1; i++ {
+				out := dst[i*ny.dim : (i+1)*ny.dim]
+				copy(out[j0:j1], block[(i-i0)*nc:(i-i0)*nc+nc])
+			}
+		}
+	})
+	return nil
+}

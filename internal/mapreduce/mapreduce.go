@@ -57,10 +57,10 @@ type Job struct {
 
 // Counters reports work volume for a run, mirroring Hadoop job counters.
 type Counters struct {
-	MapTasks      int
-	ReduceTasks   int
-	InputRecords  int
-	MapOutputs    int
+	MapTasks     int
+	ReduceTasks  int
+	InputRecords int
+	MapOutputs   int
 	// ShuffleBytes sizes the map output crossing the shuffle. The Local
 	// executor reports the key+value byte sum (no wire exists); the TCP
 	// executor reports the actual encoded bytes of the map-result frames
@@ -77,6 +77,14 @@ type Counters struct {
 	// inside the wire codec, for wire-vs-compute accounting.
 	EncodeNanos int64
 	DecodeNanos int64
+	// EmbedBytes / EmbedNanos account the embed-and-conquer data plane:
+	// the encoded size of every embedded bucket record a driver shipped
+	// in place of raw vectors, and the wall time the driver spent in the
+	// map-side embedding transform. Zero when embed mode is off or the
+	// runner never ships data (e.g. the closure MapReduce runner embeds
+	// inside its reducers, where the cost lands in SolveNanos instead).
+	EmbedBytes int64
+	EmbedNanos int64
 }
 
 // Add accumulates o into c field-wise, for drivers that chain several
@@ -95,6 +103,8 @@ func (c *Counters) Add(o *Counters) {
 	c.WireBytesIn += o.WireBytesIn
 	c.EncodeNanos += o.EncodeNanos
 	c.DecodeNanos += o.DecodeNanos
+	c.EmbedBytes += o.EmbedBytes
+	c.EmbedNanos += o.EmbedNanos
 }
 
 // Executor runs jobs.

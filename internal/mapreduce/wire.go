@@ -478,6 +478,89 @@ func parseResult(body []byte, r *resultMsg) error {
 	return p.done()
 }
 
+// ---- embed bucket records ----
+
+// Stage-2 record kinds for the embed-and-conquer DASC deployment. When
+// embed mode is on, every stage-2 value leads with one of these bytes
+// so a reducer can tell an embedded-rows record from a raw payload. (A
+// gob stream may begin with any byte, so the discriminator only means
+// anything when the job's configuration says embed mode is on; legacy
+// jobs ship bare payloads with no kind byte.)
+const (
+	// EmbedBucketKind opens an embedded bucket record: the bucket's
+	// points already pushed through the kernel feature map map-side,
+	// shipped as d′-dimensional rows instead of raw vectors.
+	EmbedBucketKind = 'E'
+	// RawBucketKind opens a raw bucket payload (a gob blob follows) for
+	// buckets the embed policy declined.
+	RawBucketKind = 'B'
+)
+
+// AppendEmbedBucket appends one embedded bucket record to dst and
+// returns the extended slice:
+//
+//	kind 'E' │ uvarint n │ uvarint dim │ n × uint32 LE index │
+//	n·dim × float64 LE embedded rows (row-major)
+//
+// len(rows) must equal len(indices)*dim; the codec is pure layout and
+// does not validate semantics beyond that.
+func AppendEmbedBucket(dst []byte, indices []int32, dim int, rows []float64) []byte {
+	dst = append(dst, EmbedBucketKind)
+	dst = binary.AppendUvarint(dst, uint64(len(indices)))
+	dst = binary.AppendUvarint(dst, uint64(dim))
+	var b4 [4]byte
+	for _, idx := range indices {
+		binary.LittleEndian.PutUint32(b4[:], uint32(idx))
+		dst = append(dst, b4[:]...)
+	}
+	var b8 [8]byte
+	for _, v := range rows {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+// ParseEmbedBucket decodes a record produced by AppendEmbedBucket,
+// validating the kind byte and that the payload length matches the
+// declared shape exactly. The returned slices are freshly allocated and
+// do not alias buf.
+func ParseEmbedBucket(buf []byte) ([]int32, int, []float64, error) {
+	if len(buf) == 0 || buf[0] != EmbedBucketKind {
+		return nil, 0, nil, errors.New("mapreduce: not an embed bucket record")
+	}
+	b := buf[1:]
+	nu, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, nil, errors.New("mapreduce: embed record: bad point count")
+	}
+	b = b[w:]
+	du, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, nil, errors.New("mapreduce: embed record: bad dimension")
+	}
+	b = b[w:]
+	if nu == 0 || du == 0 || nu > maxFrameBody/4 || du > maxFrameBody/8 {
+		return nil, 0, nil, fmt.Errorf("mapreduce: embed record shape %d x %d out of range", nu, du)
+	}
+	n, dim := int(nu), int(du)
+	// The length check precedes any allocation, so a hostile header
+	// cannot make the parser reserve more than the record it arrived in.
+	if need := 4*n + 8*n*dim; len(b) != need || need/n != 4+8*dim {
+		return nil, 0, nil, fmt.Errorf("mapreduce: embed record: %d payload bytes for %d x %d", len(b), n, dim)
+	}
+	indices := make([]int32, n)
+	for i := range indices {
+		indices[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	b = b[4*n:]
+	rows := make([]float64, n*dim)
+	for i := range rows {
+		rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return indices, dim, rows, nil
+}
+
 // WireRoundTrip encodes msg-shaped record traffic through the frame
 // codec and decodes it back over an in-memory pipe, returning the
 // frame's wire size — the dascbench hook for the codec hot path and a

@@ -5,8 +5,9 @@ package spectral
 // (points, indices, kernel) into labels. It owns the adaptive solver
 // policy:
 //
-//	bucket size / measured fill          solver            Gram form
-//	------------------------------------ ----------------- ------------
+//	bucket size / measured fill          solver            similarity form
+//	------------------------------------ ----------------- ---------------
+//	embed mode on, ni >= EmbedCutoff     embedded          none (d′ rows)
 //	ni <= 96 or 3K >= ni                 dense-eigen       dense (pooled)
 //	larger, sparse mode off              dense-lanczos     dense (pooled)
 //	sparse mode on, fill <= 0.35         sparse-lanczos    CSR (owned)
@@ -14,17 +15,22 @@ package spectral
 //
 // Sparse mode is opt-in (SparseCutoff > 0 and Epsilon > 0) and is an
 // approximation: entries below ε are dropped before the eigensolve.
-// With sparse mode off the engine executes exactly the pre-existing
-// dense sequence (pooled SubGram + ClusterInPlace), so default
-// configurations reproduce byte-identical labels. Every branch of the
-// policy is a deterministic function of the bucket's size, config, and
-// measured fill — never of the worker count — and each solver is itself
-// bitwise worker-independent, so label bits never depend on
-// parallelism.
+// Embed mode (an Embedder plus EmbedCutoff > 0) is likewise opt-in and
+// likewise approximate — it skips the Gram entirely and runs k-means on
+// kernel-embedded rows (see embedded.go) — and it takes precedence over
+// the sparse attempt, since a bucket big enough to embed never needs
+// the ε-cut. With both modes off the engine executes exactly the
+// pre-existing dense sequence (pooled SubGram + ClusterInPlace), so
+// default configurations reproduce byte-identical labels. Every branch
+// of the policy is a deterministic function of the bucket's size,
+// config, and measured fill — never of the worker count — and each
+// solver is itself bitwise worker-independent, so label bits never
+// depend on parallelism.
 
 import (
 	"time"
 
+	"repro/internal/embed"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
@@ -65,6 +71,13 @@ type EngineConfig struct {
 	// with |v| < Epsilon are dropped. Must be > 0 for sparse mode;
 	// defaults (0) keep the exact dense path.
 	Epsilon float64
+	// Embedder, when non-nil together with EmbedCutoff > 0, enables the
+	// embedded solve for buckets of at least EmbedCutoff rows: kernel
+	// embedding + k-means instead of Gram + eigensolve.
+	Embedder embed.Embedder
+	// EmbedCutoff is the bucket size at or above which the embedded
+	// solve runs. 0 disables embed mode.
+	EmbedCutoff int
 }
 
 // SolveStats reports what one bucket solve actually did.
@@ -110,6 +123,14 @@ func ClusterBucket(points *matrix.Dense, indices []int, kf kernel.Kernel, cfg En
 	}
 	stats := SolveStats{N: ni}
 	sCfg := Config{K: cfg.K, Seed: cfg.Seed, KMeansIter: cfg.KMeansIter}
+
+	// Embed mode takes the bucket out of the Gram economy altogether.
+	// k == ni stays with the exact path (its identity-label degenerate
+	// case), and embed errors surface instead of downgrading — the
+	// shipped driver has already committed to the record shape.
+	if cfg.Embedder != nil && cfg.EmbedCutoff > 0 && ni >= cfg.EmbedCutoff && k < ni {
+		return clusterEmbedded(points, indices, cfg.Embedder, cfg, scratch)
+	}
 
 	// The CSR attempt is gated on the policy being able to use it: the
 	// sparse solver is Lanczos-only, so buckets the dense policy would
