@@ -36,6 +36,37 @@ func benchDataPlane(add addFunc, quick bool) error {
 		sort.SliceStable(concat, func(i, j int) bool { return concat[i].Key < concat[j].Key })
 	})
 
+	// Spill shuffle A/B: the same shuffle-heavy job through the Local
+	// executor fully in memory and with a budget small enough to force
+	// file-backed runs on every map task, so the delta is the price of
+	// the out-of-core merge path.
+	spillInput := make([]mapreduce.Pair, 512)
+	for i := range spillInput {
+		spillInput[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: []byte{byte(i)}}
+	}
+	inmemJob := shuffleJob("dascbench/shuffle-inmem")
+	spillJob := shuffleJob("dascbench/shuffle-spill")
+	spillJob.SpillBytes = 64 << 10
+	for _, sj := range []struct {
+		name string
+		job  *mapreduce.Job
+	}{{"shuffle/local-inmem", inmemJob}, {"shuffle/local-spill", spillJob}} {
+		var ctr *mapreduce.Counters
+		var jobErr error
+		r := add(sj.name, 0, 0, func() {
+			if _, c, err := (&mapreduce.Local{}).Run(sj.job, spillInput); err != nil {
+				jobErr = err
+			} else {
+				ctr = c
+			}
+		})
+		if jobErr != nil {
+			return jobErr
+		}
+		r.ShuffleBytes = ctr.ShuffleBytes
+		r.SpillBytes = ctr.SpillBytes
+	}
+
 	// Frame codec round trip over one run's worth of records.
 	var wireErr error
 	add("wire/encode", 0, 0, func() {

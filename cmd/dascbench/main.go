@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -53,6 +55,19 @@ type Result struct {
 	// embedded record bytes); zero elsewhere.
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
 	EmbedBytes   int64 `json:"embed_bytes,omitempty"`
+	// Out-of-core counters (spill benchmarks and -scale runs): bytes
+	// spilled to sorted run files, shard bytes demand-read by workers,
+	// and — for the EMR simulation — the modeled disk traffic.
+	SpillBytes     int64 `json:"spill_bytes,omitempty"`
+	ShardReadBytes int64 `json:"shard_read_bytes,omitempty"`
+	DiskBytes      int64 `json:"disk_bytes,omitempty"`
+	// N and PeakRSSBytes describe -scale runs: the dataset size, and
+	// the process peak resident set (VmHWM) after the phase finished.
+	// InMemoryBytes is the footprint the batch (all-in-RAM) pipeline
+	// would need for the same phase, for comparison.
+	N             int64 `json:"n,omitempty"`
+	PeakRSSBytes  int64 `json:"peak_rss_bytes,omitempty"`
+	InMemoryBytes int64 `json:"inmemory_bytes,omitempty"`
 }
 
 // Report is the BENCH_<n>.json document.
@@ -61,6 +76,10 @@ type Report struct {
 	Date    string   `json:"date"`
 	Iters   int      `json:"iters"`
 	Results []Result `json:"results"`
+	// PeakRSSBytes is the process peak resident set at the end of the
+	// whole run (VmHWM from /proc/self/status, or Go heap Sys where
+	// unavailable).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // measure runs f iters times and returns wall time and heap
@@ -98,6 +117,9 @@ func run() error {
 	iters := flag.Int("iters", 0, "iterations per benchmark (0 = 10, or 2 with -quick)")
 	out := flag.String("out", ".", "output directory for BENCH_<n>.json")
 	note := flag.String("note", "", "free-form note stored in the report")
+	scale := flag.Int("scale", 0, "out-of-core mode: corpus size N; replaces the micro suite")
+	scaleDir := flag.String("scale-dir", "", "shard directory for -scale (default: a temp dir, removed afterwards)")
+	spill := flag.Int64("spill", 32<<20, "spill budget in bytes for -scale runs")
 	flag.Parse()
 
 	it := *iters
@@ -107,6 +129,15 @@ func run() error {
 		} else {
 			it = 10
 		}
+	}
+
+	if *scale > 0 {
+		rep := &Report{Note: *note, Date: time.Now().UTC().Format(time.RFC3339), Iters: 1}
+		if err := benchScale(rep, *scale, *scaleDir, *spill); err != nil {
+			return err
+		}
+		rep.PeakRSSBytes = peakRSS()
+		return writeReport(rep, *out)
 	}
 
 	// The datasets mirror the root go-test benchmarks (bench_test.go) so
@@ -196,10 +227,16 @@ func run() error {
 		return err
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	rep.PeakRSSBytes = peakRSS()
+	return writeReport(rep, *out)
+}
+
+// writeReport marshals rep into the next free BENCH_<n>.json in dir.
+func writeReport(rep *Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path, err := nextBenchPath(*out)
+	path, err := nextBenchPath(dir)
 	if err != nil {
 		return err
 	}
@@ -212,6 +249,28 @@ func run() error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// peakRSS returns the process peak resident set in bytes: VmHWM from
+// /proc/self/status where the kernel exposes it, else the Go runtime's
+// OS-reserved heap as a floor.
+func peakRSS() int64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
 }
 
 func main() {

@@ -17,6 +17,7 @@ package dasc
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/spectral"
 )
 
@@ -88,6 +90,21 @@ func ClusterMapReduceShipped(points *Matrix, cfg Config, exec Executor) (*Result
 // cancellation.
 func ClusterMapReduceShippedContext(ctx context.Context, points *Matrix, cfg Config, exec Executor) (*Result, error) {
 	return core.ClusterMapReduceShippedContext(ctx, points, cfg, exec)
+}
+
+// ClusterMapReduceSharded runs the out-of-core MapReduce formulation
+// against a shard directory (see WriteShards): the input matrix never
+// materializes in driver memory — stage-1 mappers stream shard row
+// ranges and stage-2 reducers demand-read only the rows their buckets
+// reference. Combine with Config.SpillBytes to bound the shuffle too.
+func ClusterMapReduceSharded(dir string, cfg Config, exec Executor) (*Result, error) {
+	return core.ClusterMapReduceSharded(dir, cfg, exec)
+}
+
+// ClusterMapReduceShardedContext is ClusterMapReduceSharded with
+// cancellation.
+func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config, exec Executor) (*Result, error) {
+	return core.ClusterMapReduceShardedContext(ctx, dir, cfg, exec)
 }
 
 // ClusterIncremental runs DASC with the resident Gram storage bounded
@@ -231,6 +248,39 @@ type Corpus = corpus.Corpus
 
 // GenerateCorpus builds a category-structured HTML document corpus.
 func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) { return corpus.Generate(cfg) }
+
+// ---- sharded input ----
+
+// ShardWriter streams rows into a shard directory without holding the
+// matrix in memory; see internal/shard for the file format.
+type ShardWriter = shard.Writer
+
+// ShardReader exposes a shard directory as a random-access row matrix.
+type ShardReader = shard.Reader
+
+// NewShardWriter opens a shard writer for rows of cols values, cutting
+// a new file every rowsPerShard rows (0 uses the package default).
+func NewShardWriter(dir string, cols, rowsPerShard int) (*ShardWriter, error) {
+	return shard.NewWriter(dir, cols, rowsPerShard)
+}
+
+// OpenShards opens a shard directory for reading.
+func OpenShards(dir string) (*ShardReader, error) { return shard.Open(dir) }
+
+// WriteShards splits an in-memory matrix into row-range shard files
+// under dir, for feeding ClusterMapReduceSharded.
+func WriteShards(dir string, points *Matrix, rowsPerShard int) error {
+	w, err := shard.NewWriter(dir, points.Cols(), rowsPerShard)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < points.Rows(); i++ {
+		if err := w.Append(points.Row(i)); err != nil {
+			return errors.Join(err, w.Close())
+		}
+	}
+	return w.Close()
+}
 
 // ---- metrics (§5.3) ----
 

@@ -112,7 +112,26 @@ type Config struct {
 	// solve runs. Only consulted when EmbedDim > 0; 0 then defaults to
 	// DefaultEmbedCutoff.
 	EmbedCutoff int
+	// SpillBytes bounds the MapReduce master's in-memory shuffle buffer
+	// (mapreduce.Job.SpillBytes, Hadoop's io.sort.mb analogue): the
+	// MapReduce drivers thread it into every job they run, so map
+	// output beyond the budget spills to per-partition disk runs and
+	// the shuffle merges from disk. 0 (the default) keeps the shuffle
+	// fully in memory; labels are bit-identical at any setting.
+	SpillBytes int64
+	// FitSample is the number of evenly spaced rows the sharded driver
+	// reads to fit its plan (LSH thresholds, kernel bandwidth) without
+	// loading the full matrix; 0 uses DefaultFitSample. FitSample >= N
+	// reads every row in order, which makes the fit — and therefore the
+	// labels — identical to the in-memory drivers'. Only the sharded
+	// driver consults it.
+	FitSample int
 }
+
+// DefaultFitSample is the sharded driver's plan-fitting sample size: a
+// few thousand rows pin LSH valley thresholds and the median bandwidth
+// closely while keeping the fit working set independent of N.
+const DefaultFitSample = 4096
 
 // DefaultEmbedCutoff is the bucket size at which the embedded solve
 // starts paying: below it the dense engine's Gram + eigensolve is
@@ -244,6 +263,15 @@ func (c Config) resolve(n int) (Config, int, error) {
 	}
 	if c.EmbedDim > 0 && c.EmbedCutoff == 0 {
 		c.EmbedCutoff = DefaultEmbedCutoff
+	}
+	if c.SpillBytes < 0 {
+		return c, 0, fmt.Errorf("%w: SpillBytes=%d negative", ErrBadConfig, c.SpillBytes)
+	}
+	if c.FitSample < 0 {
+		return c, 0, fmt.Errorf("%w: FitSample=%d negative", ErrBadConfig, c.FitSample)
+	}
+	if c.FitSample == 0 {
+		c.FitSample = DefaultFitSample
 	}
 	return c, radius, nil
 }

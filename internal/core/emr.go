@@ -57,6 +57,22 @@ func EMRFlowContext(ctx context.Context, points *matrix.Dense, cfg Config, beta 
 	return flow, part, nil
 }
 
+// EMRDiskBandwidth is the simulated sequential local-disk bandwidth in
+// bytes per second — a 2012 m1.small-era spinning disk. Flow builders
+// divide a task's DiskBytes by it to fold spill and shard I/O time
+// into the task cost.
+const EMRDiskBandwidth = 50 << 20
+
+// spillRecordBytes is the modeled on-disk framed size of one stage-1
+// shuffle record (19-byte table:signature key + 4-byte index value +
+// two uvarint length prefixes), matching the spill run-file framing.
+const spillRecordBytes = 25
+
+// diskSeconds converts modeled disk traffic into task-cost seconds.
+func diskSeconds(bytes int64) float64 {
+	return float64(bytes) / float64(EMRDiskBandwidth)
+}
+
 // BuildFlow constructs the job flow from an existing partition. Costs
 // follow §4.1: hashing is beta*M per point per split, multiplied by the
 // number of ensemble tables (each table hashes every point); a bucket
@@ -68,7 +84,27 @@ func EMRFlowContext(ctx context.Context, points *matrix.Dense, cfg Config, beta 
 // beta*d′ per point for the feature transform, and buckets the embed
 // policy claims become dot-product-bound: cost beta*(2 Ni d′ + 2 Ki Ni)
 // and memory 8·Ni·d′ (the embedded rows), no Gram term at all.
+//
+// With cfg.SpillBytes > 0 the flow models the out-of-core shuffle:
+// every stage-1 record is written to a spill run and re-read by the
+// merge (2× its framed size), billed at EMRDiskBandwidth and reported
+// through Task.DiskBytes. BuildFlowSharded additionally models
+// demand-read shard input.
 func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.JobFlow {
+	return buildFlow(part, cfg, n, dims, beta, false)
+}
+
+// BuildFlowSharded is BuildFlow for the out-of-core sharded data plane:
+// stage-1 tasks stream their input split from shard files instead of
+// holding it resident (memory drops to the streaming working set, disk
+// gains the 8·dims bytes per row), and bucket tasks demand-read their
+// Ni rows before solving. Combine with cfg.SpillBytes for the full
+// out-of-core model.
+func BuildFlowSharded(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.JobFlow {
+	return buildFlow(part, cfg, n, dims, beta, true)
+}
+
+func buildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64, sharded bool) *emr.JobFlow {
 	if beta <= 0 {
 		beta = analytic.DefaultModel().Beta
 	}
@@ -96,10 +132,25 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 		if embedDim > 0 {
 			mapCost += beta * float64(embedDim) * float64(size)
 		}
+		var disk int64
+		mem := int64(size) * int64(dims) * 8
+		if sharded {
+			// The mapper streams its rows from shard files: the split's
+			// bytes move from resident memory to disk reads, leaving only
+			// the row buffer and buffered output records in RAM.
+			disk += int64(size) * int64(dims) * 8
+			mem = int64(dims)*8 + int64(size)*int64(tables)*spillRecordBytes
+		}
+		if cfg.SpillBytes > 0 {
+			// Out-of-core shuffle: every record is written to a spill run
+			// and re-read by the k-way merge.
+			disk += 2 * int64(size) * int64(tables) * spillRecordBytes
+		}
 		lshTasks = append(lshTasks, emr.Task{
 			Name:        fmt.Sprintf("lsh-split-%d", start/splitSize),
-			Cost:        mapCost,
-			MemoryBytes: int64(size) * int64(dims) * 8,
+			Cost:        mapCost + diskSeconds(disk),
+			MemoryBytes: mem,
+			DiskBytes:   disk,
 		})
 	}
 
@@ -113,10 +164,24 @@ func BuildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64) *emr.
 			cost = beta * (2*float64(ni)*float64(embedDim) + 2*float64(ki)*float64(ni))
 			mem = embed.Bytes(ni, embedDim)
 		}
+		var disk int64
+		if sharded {
+			// The reducer demand-reads exactly its bucket's rows, which
+			// then sit beside the Gram (or embedded block) while solving.
+			disk += int64(ni) * int64(dims) * 8
+			mem += int64(ni) * int64(dims) * 8
+		}
+		if cfg.SpillBytes > 0 {
+			// Stage-2 shuffle spill: the bucket's index record (4·Ni plus
+			// the 16-byte signature key and framing) is written and merged
+			// back from disk.
+			disk += 2 * (4*int64(ni) + 20)
+		}
 		clusterTasks = append(clusterTasks, emr.Task{
 			Name:        fmt.Sprintf("bucket-%x", b.Signature),
-			Cost:        cost,
+			Cost:        cost + diskSeconds(disk),
 			MemoryBytes: mem,
+			DiskBytes:   disk,
 		})
 	}
 

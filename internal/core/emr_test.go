@@ -90,6 +90,88 @@ func syntheticPartition(buckets, meanSize int) *lsh.Partition {
 	return p
 }
 
+// TestEMRFlowDiskCosting pins the out-of-core cost model: spill budgets
+// add 2x the framed record bytes per stage-1 task, sharded mode trades
+// stage-1 memory for shard-read disk traffic, and the scheduler surfaces
+// the aggregate through FlowReport.TotalDiskBytes.
+func TestEMRFlowDiskCosting(t *testing.T) {
+	part := syntheticPartition(40, 150)
+	n := 0
+	for _, s := range part.Sizes() {
+		n += s
+	}
+	const dims = 16
+	base := BuildFlow(part, Config{K: 8, Workers: 1}, n, dims, 50e-6)
+	spilled := BuildFlow(part, Config{K: 8, Workers: 1, SpillBytes: 1 << 20}, n, dims, 50e-6)
+	sharded := BuildFlowSharded(part, Config{K: 8, Workers: 1, SpillBytes: 1 << 20}, n, dims, 50e-6)
+
+	sum := func(f *emr.JobFlow, step int, get func(emr.Task) int64) int64 {
+		var total int64
+		for _, task := range f.Steps[step].Tasks {
+			total += get(task)
+		}
+		return total
+	}
+	disk := func(task emr.Task) int64 { return task.DiskBytes }
+	mem := func(task emr.Task) int64 { return task.MemoryBytes }
+
+	for step := 0; step < 2; step++ {
+		if got := sum(base, step, disk); got != 0 {
+			t.Fatalf("in-memory flow step %d models %d disk bytes", step, got)
+		}
+		if got := sum(spilled, step, disk); got <= 0 {
+			t.Fatalf("spilled flow step %d models no disk", step)
+		}
+	}
+	// Spill bills exactly write + re-read of every framed stage-1 record.
+	if got, want := sum(spilled, 0, disk), int64(2*spillRecordBytes*n); got != want {
+		t.Fatalf("stage-1 spill disk = %d, want %d", got, want)
+	}
+	// Sharded mode adds the 8*dims*N input read on top of the spill...
+	if got, want := sum(sharded, 0, disk), int64(2*spillRecordBytes*n)+int64(8*dims*n); got != want {
+		t.Fatalf("sharded stage-1 disk = %d, want %d", got, want)
+	}
+	// ...and shrinks stage-1 memory from resident splits to the
+	// streaming working set.
+	if got, lim := sum(sharded, 0, mem), sum(base, 0, mem); got >= lim {
+		t.Fatalf("sharded stage-1 memory %d not below resident %d", got, lim)
+	}
+	// Bucket hydration charges disk and memory for the demand-read rows.
+	if got, want := sum(sharded, 1, disk)-sum(spilled, 1, disk), int64(8*dims*n); got != want {
+		t.Fatalf("bucket hydration disk = %d, want %d", got, want)
+	}
+	// Disk time is folded into task cost at EMRDiskBandwidth.
+	for i, task := range spilled.Steps[0].Tasks {
+		want := base.Steps[0].Tasks[i].Cost + diskSeconds(task.DiskBytes)
+		if task.Cost != want {
+			t.Fatalf("task %d cost %v, want %v", i, task.Cost, want)
+		}
+	}
+
+	c, err := emr.NewCluster(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.RunJobFlow(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for step := range sharded.Steps {
+		want += sum(sharded, step, disk)
+	}
+	if rep.TotalDiskBytes != want {
+		t.Fatalf("report disk %d, want %d", rep.TotalDiskBytes, want)
+	}
+	repBase, err := c.RunJobFlow(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBase.TotalDiskBytes != 0 {
+		t.Fatalf("in-memory report disk = %d", repBase.TotalDiskBytes)
+	}
+}
+
 func TestEMRFlowValidation(t *testing.T) {
 	l := mixture(t, 16, 4, 2, 0.05, 34)
 	if _, _, err := EMRFlow(l.Points, Config{K: 99}, 0); err == nil {

@@ -62,6 +62,7 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signatu
 		return nil, err
 	}
 	lshJob := LSHJob(r.prefix, p.Points, hashers)
+	lshJob.SpillBytes = p.Cfg.SpillBytes
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
@@ -76,6 +77,7 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signatu
 
 func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
 	clusterJob := ClusterJob(r.prefix, p.Points, p.Cfg, p.Sigma, p.Embedder)
+	clusterJob.SpillBytes = p.Cfg.SpillBytes
 	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
 	for bi, b := range part.Buckets {
 		stage2Input[bi] = mapreduce.Pair{

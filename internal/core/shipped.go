@@ -368,6 +368,7 @@ func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signature
 	}
 	lshJob.Name = ShippedLSHJobName
 	lshJob.Conf = lshBlob
+	lshJob.SpillBytes = p.Cfg.SpillBytes
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(p.Points.Row(i))}
@@ -396,6 +397,7 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 	}
 	clusterJob.Name = ShippedClusterJobName
 	clusterJob.Conf = clusterBlob
+	clusterJob.SpillBytes = p.Cfg.SpillBytes
 	stage2 := make([]mapreduce.Pair, len(part.Buckets))
 	d := p.Points.Cols()
 	embedOn := p.Cfg.EmbedDim > 0 && p.Embedder != nil

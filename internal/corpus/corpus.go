@@ -15,7 +15,6 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/analytic"
 	"repro/internal/dataset"
 	"repro/internal/matrix"
 	"repro/internal/text"
@@ -61,105 +60,22 @@ type Corpus struct {
 	CategoryNames []string
 }
 
-// Generate builds a corpus per the configuration.
+// Generate builds a corpus per the configuration. It is a thin wrapper
+// over GenerateStream that materializes every document; use the
+// streaming form directly when the collection is too large to hold.
 func Generate(cfg Config) (*Corpus, error) {
-	if cfg.NumDocs <= 0 {
-		return nil, fmt.Errorf("corpus: NumDocs=%d must be positive", cfg.NumDocs)
+	c := &Corpus{}
+	meta, err := GenerateStream(cfg, func(doc string, label int) error {
+		c.Docs = append(c.Docs, doc)
+		c.Labels = append(c.Labels, label)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	k := cfg.NumCategories
-	if k == 0 {
-		k = analytic.CategoryLaw(cfg.NumDocs)
-	}
-	if k < 1 || k > cfg.NumDocs {
-		return nil, fmt.Errorf("corpus: %d categories for %d docs", k, cfg.NumDocs)
-	}
-	if cfg.VocabSize == 0 {
-		cfg.VocabSize = 2000
-	}
-	if cfg.VocabSize < k {
-		return nil, fmt.Errorf("corpus: vocabulary %d smaller than category count %d", cfg.VocabSize, k)
-	}
-	if cfg.TokensPerDoc == 0 {
-		cfg.TokensPerDoc = 80
-	}
-	if cfg.TokensPerDoc < 1 {
-		return nil, fmt.Errorf("corpus: TokensPerDoc=%d", cfg.TokensPerDoc)
-	}
-	if cfg.CharTerms == 0 {
-		cfg.CharTerms = 12
-	}
-	if matrix.IsZero(cfg.Focus) {
-		cfg.Focus = 0.7
-	}
-	if cfg.Focus < 0 || cfg.Focus > 1 {
-		return nil, fmt.Errorf("corpus: Focus=%v out of [0,1]", cfg.Focus)
-	}
-	if matrix.IsZero(cfg.TopicWeight) {
-		cfg.TopicWeight = 0.55
-	}
-	if cfg.TopicWeight < 0 || cfg.TopicWeight > 1 {
-		return nil, fmt.Errorf("corpus: TopicWeight=%v out of [0,1]", cfg.TopicWeight)
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	vocab := makeVocabulary(rng, cfg.VocabSize)
-	zipfW := zipfWeights(cfg.VocabSize)
-
-	// Characteristic terms: disjoint slices of the vocabulary so that
-	// categories do not share boosted terms. When the vocabulary is too
-	// small for full disjointness, wrap around.
-	charTerms := make([][]string, k)
-	names := make([]string, k)
-	for c := 0; c < k; c++ {
-		terms := make([]string, cfg.CharTerms)
-		for t := 0; t < cfg.CharTerms; t++ {
-			terms[t] = vocab[(c*cfg.CharTerms+t)%cfg.VocabSize]
-		}
-		charTerms[c] = terms
-		names[c] = "Category:" + capitalize(terms[0])
-	}
-
-	// Topic-hierarchy terms: Wikipedia categories live in a tree, and
-	// documents use the broad vocabulary of their ancestors as well as
-	// their leaf category's terms. Model the tree as 4-ary: level l
-	// contributes one of four broad terms according to the l-th base-4
-	// digit of the category index, so each broad term covers roughly a
-	// quarter of the corpus. Quarter-coverage terms keep enough inverse
-	// document frequency to rank high under tf-idf, which is what makes
-	// them the large-span dimensions the LSH front-end keys on — they
-	// are the "natural valleys" between category groups.
-	const fanout = 4
-	// Cap the hierarchy depth so a document's topic terms plus its
-	// characteristic terms stay within the F=11 terms the paper keeps:
-	// deeper trees would push topic terms out of the tf-idf top-F and
-	// turn the corresponding hash bits into noise. Cells of the capped
-	// tree may hold several leaf categories; separating those is the
-	// per-bucket clustering's job.
-	levels := levelsFor(k, fanout)
-	if levels > 3 {
-		levels = 3
-	}
-	topicTerms := make([][fanout]string, levels)
-	for l := 0; l < levels; l++ {
-		for d := 0; d < fanout; d++ {
-			topicTerms[l][d] = "topic" + vocab[(fanout*l+d)%cfg.VocabSize]
-		}
-	}
-
-	docs := make([]string, cfg.NumDocs)
-	labels := make([]int, cfg.NumDocs)
-	for i := 0; i < cfg.NumDocs; i++ {
-		c := i * k / cfg.NumDocs // balanced categories
-		labels[i] = c
-		var topics []string
-		code := c % pow(fanout, levels)
-		for l := 0; l < levels; l++ {
-			topics = append(topics, topicTerms[l][code%fanout])
-			code /= fanout
-		}
-		docs[i] = renderDoc(rng, cfg, names[c], charTerms[c], topics, vocab, zipfW)
-	}
-	return &Corpus{Docs: docs, Labels: labels, Categories: k, CategoryNames: names}, nil
+	c.Categories = meta.Categories
+	c.CategoryNames = meta.CategoryNames
+	return c, nil
 }
 
 // levelsFor returns the number of base-`fanout` digits needed to index

@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestGenerateStreamByteIdentity is the streaming contract: the
+// documents handed to the callback are byte-identical, in order, to the
+// slices Generate materializes.
+func TestGenerateStreamByteIdentity(t *testing.T) {
+	cfg := Config{NumDocs: 150, NumCategories: 6, Seed: 19}
+	batch, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	meta, err := GenerateStream(cfg, func(doc string, label int) error {
+		if doc != batch.Docs[i] {
+			t.Fatalf("doc %d differs:\nstream %q\nbatch  %q", i, doc, batch.Docs[i])
+		}
+		if label != batch.Labels[i] {
+			t.Fatalf("label %d = %d, batch %d", i, label, batch.Labels[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != cfg.NumDocs {
+		t.Fatalf("streamed %d docs, want %d", i, cfg.NumDocs)
+	}
+	if meta.Categories != batch.Categories {
+		t.Fatalf("categories %d vs %d", meta.Categories, batch.Categories)
+	}
+	for c, name := range meta.CategoryNames {
+		if name != batch.CategoryNames[c] {
+			t.Fatalf("name[%d] %q vs %q", c, name, batch.CategoryNames[c])
+		}
+	}
+}
+
+// TestGenerateStreamAbort checks a callback error stops generation and
+// surfaces unwrapped.
+func TestGenerateStreamAbort(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	_, err := GenerateStream(Config{NumDocs: 50, NumCategories: 2, Seed: 3}, func(string, int) error {
+		n++
+		if n == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 7 {
+		t.Fatalf("callback ran %d times after abort", n)
+	}
+}
+
+// TestGenerateStreamValidation mirrors Generate's config checks on the
+// streaming entry point.
+func TestGenerateStreamValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{NumDocs: 0},
+		{NumDocs: 10, NumCategories: 11},
+		{NumDocs: 10, Focus: 1.5},
+	} {
+		if _, err := GenerateStream(cfg, func(string, int) error { return nil }); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+// TestStreamDenseBitwiseIdentity is the out-of-core vectorizer's
+// contract: every float64 it emits must carry the same bits as the
+// batch Generate + VectorizeDense pipeline, so shard files written from
+// the stream feed the sharded driver the exact in-memory dataset.
+func TestStreamDenseBitwiseIdentity(t *testing.T) {
+	cfg := Config{NumDocs: 200, NumCategories: 8, Seed: 77}
+	const f, dims, seed = 11, 12, 5
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := c.VectorizeDense(f, dims, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	meta, err := StreamDense(cfg, f, dims, seed, func(row []float64, label int) error {
+		if len(row) != dims {
+			t.Fatalf("row %d has %d dims", i, len(row))
+		}
+		want := batch.Points.Row(i)
+		for j, v := range row {
+			if math.Float64bits(v) != math.Float64bits(want[j]) {
+				t.Fatalf("row %d col %d: stream %x batch %x (%v vs %v)",
+					i, j, math.Float64bits(v), math.Float64bits(want[j]), v, want[j])
+			}
+		}
+		if label != batch.Labels[i] {
+			t.Fatalf("label %d = %d, batch %d", i, label, batch.Labels[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != cfg.NumDocs {
+		t.Fatalf("streamed %d rows, want %d", i, cfg.NumDocs)
+	}
+	if meta.Categories != c.Categories {
+		t.Fatalf("categories %d vs %d", meta.Categories, c.Categories)
+	}
+}
+
+// TestStreamDenseValidation pins the parameter checks.
+func TestStreamDenseValidation(t *testing.T) {
+	fn := func([]float64, int) error { return nil }
+	if _, err := StreamDense(Config{NumDocs: 10, NumCategories: 2, Seed: 1}, 0, 4, 1, fn); err == nil {
+		t.Error("F=0 accepted")
+	}
+	if _, err := StreamDense(Config{NumDocs: 10, NumCategories: 2, Seed: 1}, 11, 0, 1, fn); err == nil {
+		t.Error("dims=0 accepted")
+	}
+	if _, err := StreamDense(Config{NumDocs: 0}, 11, 4, 1, fn); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}

@@ -51,10 +51,16 @@ func DefaultNodeConfig() NodeConfig {
 type Task struct {
 	// Name identifies the task in reports.
 	Name string
-	// Cost is the simulated execution time in seconds on one slot.
+	// Cost is the simulated execution time in seconds on one slot,
+	// including any disk time the flow builder folded in for DiskBytes.
 	Cost float64
 	// MemoryBytes is the task's resident footprint while running.
 	MemoryBytes int64
+	// DiskBytes is the task's local-disk traffic: spill-run writes plus
+	// re-reads and demand-read input shard bytes. Flow builders fold the
+	// corresponding transfer time into Cost; the scheduler aggregates
+	// the bytes so reports can separate I/O volume from compute.
+	DiskBytes int64
 }
 
 // Cluster is a simulated elastic cluster.
@@ -100,6 +106,9 @@ type Schedule struct {
 	// TotalMemory sums every task's footprint — the aggregate Gram
 	// storage the algorithm needs across the cluster.
 	TotalMemory int64
+	// TotalDiskBytes sums every task's local-disk traffic (spill and
+	// shard I/O).
+	TotalDiskBytes int64
 }
 
 // ScheduleTasks places tasks with the classic LPT (longest processing
@@ -136,6 +145,7 @@ func (c *Cluster) ScheduleTasks(tasks []Task) *Schedule {
 			slotPeak[best] = tasks[t].MemoryBytes
 		}
 		sched.TotalMemory += tasks[t].MemoryBytes
+		sched.TotalDiskBytes += tasks[t].DiskBytes
 	}
 	perNode := slots / c.Nodes
 	for s, busy := range sched.SlotBusy {
@@ -268,6 +278,8 @@ type FlowReport struct {
 	PeakNodeMemory int64
 	// TotalMemory is the largest aggregate footprint over steps.
 	TotalMemory int64
+	// TotalDiskBytes sums disk traffic across all steps' tasks.
+	TotalDiskBytes int64
 }
 
 // RunJobFlow executes the steps sequentially (steps have a barrier
@@ -302,6 +314,7 @@ func (c *Cluster) RunJobFlowContext(ctx context.Context, flow *JobFlow) (*FlowRe
 		if s.TotalMemory > rep.TotalMemory {
 			rep.TotalMemory = s.TotalMemory
 		}
+		rep.TotalDiskBytes += s.TotalDiskBytes
 	}
 	return rep, nil
 }
@@ -309,7 +322,11 @@ func (c *Cluster) RunJobFlowContext(ctx context.Context, flow *JobFlow) (*FlowRe
 // String renders the flow report as a small table.
 func (r *FlowReport) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "job flow on %d nodes: total %.2fs\n", r.Cluster, r.TotalTime)
+	fmt.Fprintf(&sb, "job flow on %d nodes: total %.2fs", r.Cluster, r.TotalTime)
+	if r.TotalDiskBytes > 0 {
+		fmt.Fprintf(&sb, " disk=%dB", r.TotalDiskBytes)
+	}
+	sb.WriteString("\n")
 	for _, s := range r.Steps {
 		fmt.Fprintf(&sb, "  step %-24s tasks=%-5d makespan=%.2fs\n", s.Name, s.Tasks, s.Makespan)
 	}

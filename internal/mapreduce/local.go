@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,8 +26,11 @@ func (l *Local) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 
 // RunContext implements ContextExecutor: cancellation is checked
 // between records inside every map and reduce task, so a mid-job
-// cancel returns within one user map/reduce call.
-func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error) {
+// cancel returns within one user map/reduce call. With Job.SpillBytes
+// set, map-side runs spill to per-partition disk files beyond the
+// budget and each reduce partition is merge-grouped straight from its
+// runs — never materialized whole — with bit-identical output.
+func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pair, _ *Counters, err error) {
 	if err := job.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -36,6 +40,12 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 	}
 	numReducers := job.numReducers()
 	ctr := &Counters{InputRecords: len(input), ReduceTasks: numReducers}
+
+	var ss *spillSet
+	if job.SpillBytes > 0 {
+		ss = newSpillSet(numReducers, job.SpillBytes)
+		defer func() { err = errors.Join(err, ss.Close()) }()
+	}
 
 	tasks := splits(input, job.splitSize())
 	ctr.MapTasks = len(tasks)
@@ -81,7 +91,15 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 			}
 			// Map-side sort: each partition leaves the task as a
 			// key-sorted run, so the shuffle below is a pure merge.
-			results[t].parts = partitionSorted(job, numReducers, local)
+			parts := partitionSorted(job, numReducers, local)
+			if ss != nil {
+				// Out-of-core mode: runs go to the spill manager (keyed by
+				// task index, the merge's tie-break order) instead of
+				// staying resident per task.
+				results[t].err = ss.add(t, parts)
+				return
+			}
+			results[t].parts = parts
 		}(t)
 	}
 	wg.Wait()
@@ -95,70 +113,118 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair,
 	}
 	ctr.MapOutputs = int(mapOutputs.Load())
 
-	// Shuffle: k-way merge each reduce partition's sorted runs, in map
-	// task order so ties reproduce the stable concat+sort order. The
-	// per-partition merges are independent and run on the worker pool.
-	partitions := make([][]Pair, numReducers)
-	var shuffleBytes atomic.Int64
-	for p := range partitions {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			runs := make([][]Pair, 0, len(results))
-			for _, r := range results {
-				if p < len(r.parts) && len(r.parts[p]) > 0 {
-					runs = append(runs, r.parts[p])
-				}
-			}
-			merged := MergeRuns(runs)
-			var bytes int64
-			for _, kv := range merged {
-				bytes += int64(len(kv.Key) + len(kv.Value))
-			}
-			shuffleBytes.Add(bytes)
-			partitions[p] = merged
-		}(p)
-	}
-	wg.Wait()
-	ctr.ShuffleBytes = shuffleBytes.Load()
-
-	// Reduce phase.
 	type reduceResult struct {
 		out []Pair
 		err error
 	}
 	red := make([]reduceResult, numReducers)
-	for p := range partitions {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// The merge shuffle delivers the partition key-sorted; the
-			// sort call is the O(n) already-sorted fast path kept as a
-			// contract check against custom shuffles.
-			pairs := partitions[p]
-			sortPairs(pairs)
-			err := groupSorted(pairs, func(key string, values [][]byte) error {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				return job.Reduce(key, values, func(k string, v []byte) {
-					red[p].out = append(red[p].out, Pair{k, v})
+	var shuffleBytes atomic.Int64
+
+	if ss != nil {
+		// Out-of-core shuffle + reduce, fused per partition: stream the
+		// k-way merge of the partition's runs (disk segments and
+		// still-buffered memory runs, in map-task order) through a
+		// grouper straight into the reducer, so the partition is never
+		// resident as one slice. Same merge order, same groups, same
+		// output as the in-memory path.
+		if err := ss.seal(); err != nil {
+			return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+		}
+		for p := 0; p < numReducers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runs := ss.partitionRuns(p)
+				g := &grouper{fn: func(key string, values [][]byte) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return job.Reduce(key, values, func(k string, v []byte) {
+						red[p].out = append(red[p].out, Pair{k, v})
+					})
+				}}
+				merr := MergeRunReaders(runs, func(kv Pair) error {
+					shuffleBytes.Add(int64(len(kv.Key) + len(kv.Value)))
+					return g.add(kv)
 				})
-			})
-			if err != nil {
-				red[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
-				return
-			}
-			// Sort this partition's output inside the task so the final
-			// assembly is a pure merge.
-			sortPairs(red[p].out)
-		}(p)
+				if merr == nil {
+					merr = g.flush()
+				}
+				if cerr := closeRuns(runs); merr == nil {
+					merr = cerr
+				}
+				if merr != nil {
+					red[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, merr)
+					return
+				}
+				sortPairs(red[p].out)
+			}(p)
+		}
+		wg.Wait()
+		ctr.ShuffleBytes = shuffleBytes.Load()
+		ctr.SpillBytes, ctr.SpillNanos = ss.stats()
+	} else {
+		// Shuffle: k-way merge each reduce partition's sorted runs, in map
+		// task order so ties reproduce the stable concat+sort order. The
+		// per-partition merges are independent and run on the worker pool.
+		partitions := make([][]Pair, numReducers)
+		for p := range partitions {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runs := make([][]Pair, 0, len(results))
+				for _, r := range results {
+					if p < len(r.parts) && len(r.parts[p]) > 0 {
+						runs = append(runs, r.parts[p])
+					}
+				}
+				merged := MergeRuns(runs)
+				var bytes int64
+				for _, kv := range merged {
+					bytes += int64(len(kv.Key) + len(kv.Value))
+				}
+				shuffleBytes.Add(bytes)
+				partitions[p] = merged
+			}(p)
+		}
+		wg.Wait()
+		ctr.ShuffleBytes = shuffleBytes.Load()
+
+		// Reduce phase.
+		for p := range partitions {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				// The merge shuffle delivers the partition key-sorted; the
+				// sort call is the O(n) already-sorted fast path kept as a
+				// contract check against custom shuffles.
+				pairs := partitions[p]
+				sortPairs(pairs)
+				err := groupSorted(pairs, func(key string, values [][]byte) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return job.Reduce(key, values, func(k string, v []byte) {
+						red[p].out = append(red[p].out, Pair{k, v})
+					})
+				})
+				if err != nil {
+					red[p].err = fmt.Errorf("mapreduce: %s reduce: %w", job.Name, err)
+					return
+				}
+				// Sort this partition's output inside the task so the final
+				// assembly is a pure merge.
+				sortPairs(red[p].out)
+			}(p)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
 	}

@@ -47,6 +47,13 @@ type Job struct {
 	Partition func(key string, numReducers int) int
 	// SplitSize caps records per map task (default 1024).
 	SplitSize int
+	// SpillBytes bounds the executor-side in-memory buffer of map-side
+	// sorted runs (measured as their on-disk framed size, Hadoop's
+	// io.sort.mb analogue). When the buffer exceeds the budget, every
+	// buffered run is flushed to a per-partition spill file and the
+	// shuffle merges from disk (see spill.go). 0 keeps the shuffle fully
+	// in memory. Output is bit-identical at any setting.
+	SpillBytes int64
 	// Conf is an opaque configuration blob for factory-built jobs: it
 	// travels with every TCP task so worker processes can rebuild the
 	// job via their RegisterFactory entry (see factory.go). Jobs without
@@ -85,6 +92,19 @@ type Counters struct {
 	// inside its reducers, where the cost lands in SolveNanos instead).
 	EmbedBytes int64
 	EmbedNanos int64
+	// SpillBytes / SpillNanos account the out-of-core shuffle: the bytes
+	// written to spill run files when Job.SpillBytes forces map output
+	// to disk, and the wall time spent inside those writes. Zero when
+	// nothing spilled.
+	SpillBytes int64
+	SpillNanos int64
+	// ShardReadBytes counts bytes demand-read from input shard files by
+	// sharded jobs (see internal/shard). The counter is process-local:
+	// executors whose workers run in this process (Local, or TCP workers
+	// started in-process) report it exactly; shard reads performed by
+	// separate worker OS processes are invisible to the master and are
+	// not counted.
+	ShardReadBytes int64
 }
 
 // Add accumulates o into c field-wise, for drivers that chain several
@@ -105,6 +125,9 @@ func (c *Counters) Add(o *Counters) {
 	c.DecodeNanos += o.DecodeNanos
 	c.EmbedBytes += o.EmbedBytes
 	c.EmbedNanos += o.EmbedNanos
+	c.SpillBytes += o.SpillBytes
+	c.SpillNanos += o.SpillNanos
+	c.ShardReadBytes += o.ShardReadBytes
 }
 
 // Executor runs jobs.
@@ -146,7 +169,7 @@ func (j *Job) validate() error {
 	if j.Map == nil || j.Reduce == nil {
 		return fmt.Errorf("%w: %q needs Map and Reduce", ErrBadJob, j.Name)
 	}
-	if j.NumReducers < 0 || j.SplitSize < 0 {
+	if j.NumReducers < 0 || j.SplitSize < 0 || j.SpillBytes < 0 {
 		return fmt.Errorf("%w: %q has negative sizing", ErrBadJob, j.Name)
 	}
 	return nil

@@ -1,5 +1,7 @@
 package mapreduce
 
+import "io"
+
 // The merge-based shuffle. Map tasks hand every reduce partition back
 // as a key-sorted run (sorted where the records are produced, so the
 // work parallelizes across map tasks and TCP workers), and the shuffle
@@ -172,6 +174,84 @@ func (h *runHeap) siftDown(i int) {
 			return
 		}
 		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+}
+
+// MergeRunReaders streams the k-way merge of key-sorted runs into
+// emit, holding at most one buffered pair per run — the out-of-core
+// form of MergeRuns. Ties between runs break on the run's index in the
+// slice, then position, exactly like MergeRuns, so file-backed and
+// in-memory runs merge byte-identically (see the equivalence property
+// test). The caller owns the readers: MergeRunReaders does not close
+// them, so error paths can still release every run via closeRuns.
+func MergeRunReaders(runs []RunReader, emit func(Pair) error) error {
+	h := &readerHeap{}
+	for i, r := range runs {
+		kv, err := r.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		h.items = append(h.items, readerHead{kv: kv, idx: i, r: r})
+	}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for len(h.items) > 0 {
+		top := &h.items[0]
+		if err := emit(top.kv); err != nil {
+			return err
+		}
+		kv, err := top.r.Next()
+		if err == io.EOF {
+			last := len(h.items) - 1
+			h.items[0] = h.items[last]
+			h.items = h.items[:last]
+		} else if err != nil {
+			return err
+		} else {
+			top.kv = kv
+		}
+		h.siftDown(0)
+	}
+	return nil
+}
+
+// readerHead is one run's buffered head in the reader merge.
+type readerHead struct {
+	kv  Pair
+	idx int
+	r   RunReader
+}
+
+// readerHeap is a hand-rolled binary min-heap over run heads, ordered
+// by (head key, run index) like runHeap.
+type readerHeap struct {
+	items []readerHead
+}
+
+func (h *readerHeap) less(a, b int) bool {
+	ka, kb := h.items[a].kv.Key, h.items[b].kv.Key
+	return ka < kb || (ka == kb && h.items[a].idx < h.items[b].idx)
+}
+
+func (h *readerHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h.items) {
+			return
+		}
+		small := l
+		if r := l + 1; r < len(h.items) && h.less(r, l) {
+			small = r
+		}
+		if !h.less(small, i) {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
 		i = small
 	}
 }

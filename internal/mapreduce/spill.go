@@ -1,0 +1,379 @@
+package mapreduce
+
+// Spill-to-disk sorted runs: the out-of-core half of the merge shuffle.
+//
+// When Job.SpillBytes > 0, the executor buffers map-side sorted runs in
+// memory only up to that budget (Hadoop's io.sort.mb analogue, measured
+// as the runs' on-disk record size). Exceeding it flushes every
+// buffered run to disk: each reduce partition owns ONE spill file and a
+// flushed run becomes a (seq, offset, length) segment appended to that
+// file, so the open-file count stays at the partition count no matter
+// how many map tasks spill. Records are framed exactly like the wire
+// codec's string/bytes fields — uvarint key length, key bytes, uvarint
+// value length, value bytes — so a segment is a byte-for-byte
+// length-prefixed run file.
+//
+// Reading back streams each segment through an io.SectionReader, one
+// buffered record at a time; the k-way merge (MergeRunReaders) then
+// consumes file-backed and still-buffered runs uniformly through the
+// RunReader interface, ordered by map-task Seq. A spilled run holds the
+// same pairs in the same order as its in-memory original, and the merge
+// breaks ties by run order, so spilling can never change a job's
+// output: the shuffle's determinism contract (see merge.go) is
+// preserved bit for bit at any SpillBytes.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunReader streams one key-sorted run of pairs. Next returns io.EOF
+// after the last pair; Close releases whatever backs the run and must
+// be called on every reader, on error paths included.
+type RunReader interface {
+	Next() (Pair, error)
+	Close() error
+}
+
+// SliceRun wraps an in-memory key-sorted run as a RunReader.
+func SliceRun(pairs []Pair) RunReader { return &sliceRun{pairs: pairs} }
+
+type sliceRun struct {
+	pairs []Pair
+	i     int
+}
+
+func (r *sliceRun) Next() (Pair, error) {
+	if r.i == len(r.pairs) {
+		return Pair{}, io.EOF
+	}
+	p := r.pairs[r.i]
+	r.i++
+	return p, nil
+}
+
+func (r *sliceRun) Close() error { return nil }
+
+// appendRunRecord appends one pair in the on-disk run framing — the
+// same uvarint-length-prefixed layout the wire codec uses for its
+// string and bytes fields.
+func appendRunRecord(buf []byte, p Pair) []byte {
+	buf = appendWireString(buf, p.Key)
+	buf = appendWireBytes(buf, p.Value)
+	return buf
+}
+
+// pairDiskBytes is a pair's framed size on disk; the spill budget is
+// accounted in these units so the budget bounds real file bytes.
+func pairDiskBytes(p Pair) int64 {
+	return int64(uvarintLen(uint64(len(p.Key)))) + int64(len(p.Key)) +
+		int64(uvarintLen(uint64(len(p.Value)))) + int64(len(p.Value))
+}
+
+// fileRun streams one spilled segment's records back. It reads through
+// its own buffered view of the shared partition file (io.SectionReader
+// wraps ReadAt, so concurrent fileRuns never disturb each other); a
+// clean io.EOF on the leading uvarint is the end of the segment, while
+// a truncated record surfaces as io.ErrUnexpectedEOF.
+type fileRun struct {
+	br *bufio.Reader
+}
+
+func newFileRun(f *os.File, off, length int64) *fileRun {
+	return &fileRun{br: bufio.NewReaderSize(io.NewSectionReader(f, off, length), 32*1024)}
+}
+
+func (r *fileRun) Next() (Pair, error) {
+	klen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return Pair{}, io.EOF
+		}
+		return Pair{}, fmt.Errorf("mapreduce: spill run key length: %w", err)
+	}
+	if klen > maxFrameBody {
+		return Pair{}, fmt.Errorf("mapreduce: spill run key length %d too large", klen)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.br, key); err != nil {
+		return Pair{}, fmt.Errorf("mapreduce: spill run key: %w", noEOF(err))
+	}
+	vlen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Pair{}, fmt.Errorf("mapreduce: spill run value length: %w", noEOF(err))
+	}
+	if vlen > maxFrameBody {
+		return Pair{}, fmt.Errorf("mapreduce: spill run value length %d too large", vlen)
+	}
+	val := make([]byte, vlen)
+	if _, err := io.ReadFull(r.br, val); err != nil {
+		return Pair{}, fmt.Errorf("mapreduce: spill run value: %w", noEOF(err))
+	}
+	return Pair{Key: string(key), Value: val}, nil
+}
+
+func (r *fileRun) Close() error { return nil } // the spillSet owns the file
+
+// noEOF upgrades a bare io.EOF inside a record to ErrUnexpectedEOF so
+// it cannot be mistaken for a clean end of run.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// memRun is one map task's still-buffered sorted run for a partition.
+type memRun struct {
+	seq   int
+	pairs []Pair
+}
+
+// segment is one spilled run inside a partition's spill file.
+type segment struct {
+	seq    int
+	off, n int64
+}
+
+// spillPartition is one reduce partition's spill state: at most one
+// open file (segments append to it) plus the runs still in memory.
+type spillPartition struct {
+	f    *os.File
+	w    *bufio.Writer
+	off  int64
+	mem  []memRun
+	segs []segment
+}
+
+// spillSet is the executor-side spill manager for one job: it buffers
+// map-side sorted runs per reduce partition under a byte budget,
+// flushing every buffered run to the partitions' spill files when the
+// budget is exceeded. add may be called concurrently (TCP results land
+// from per-connection reader goroutines); reads happen after seal.
+type spillSet struct {
+	budget int64
+
+	mu       sync.Mutex
+	dir      string // created lazily on first flush
+	parts    []spillPartition
+	buffered int64 // framed bytes of all in-memory runs
+
+	spillBytes int64
+	spillNanos int64
+}
+
+func newSpillSet(numPartitions int, budget int64) *spillSet {
+	return &spillSet{budget: budget, parts: make([]spillPartition, numPartitions)}
+}
+
+// add registers one map task's per-partition sorted runs under its task
+// sequence number and flushes everything buffered if the budget is now
+// exceeded. The runs are retained (not copied) until flushed.
+func (s *spillSet) add(seq int, parts [][]Pair) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(parts) > len(s.parts) {
+		return fmt.Errorf("mapreduce: spill: %d partitions for %d reducers", len(parts), len(s.parts))
+	}
+	for p, run := range parts {
+		if len(run) == 0 {
+			continue
+		}
+		s.parts[p].mem = append(s.parts[p].mem, memRun{seq: seq, pairs: run})
+		for _, kv := range run {
+			s.buffered += pairDiskBytes(kv)
+		}
+	}
+	if s.buffered > s.budget {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked writes every buffered run out as a new segment of its
+// partition's spill file. Called with s.mu held.
+func (s *spillSet) flushLocked() error {
+	start := time.Now()
+	if s.dir == "" {
+		dir, err := os.MkdirTemp("", "dasc-spill-*")
+		if err != nil {
+			return fmt.Errorf("mapreduce: spill dir: %w", err)
+		}
+		s.dir = dir
+	}
+	var buf []byte
+	for p := range s.parts {
+		sp := &s.parts[p]
+		if len(sp.mem) == 0 {
+			continue
+		}
+		if sp.f == nil {
+			f, err := os.Create(fmt.Sprintf("%s/part-%04d.run", s.dir, p))
+			if err != nil {
+				return fmt.Errorf("mapreduce: spill file: %w", err)
+			}
+			sp.f = f
+			sp.w = bufio.NewWriterSize(f, 256*1024)
+		}
+		for _, run := range sp.mem {
+			var n int64
+			for _, kv := range run.pairs {
+				buf = appendRunRecord(buf[:0], kv)
+				if _, err := sp.w.Write(buf); err != nil {
+					return fmt.Errorf("mapreduce: spill write: %w", err)
+				}
+				n += int64(len(buf))
+			}
+			sp.segs = append(sp.segs, segment{seq: run.seq, off: sp.off, n: n})
+			sp.off += n
+			s.spillBytes += n
+		}
+		sp.mem = nil
+		if err := sp.w.Flush(); err != nil {
+			return fmt.Errorf("mapreduce: spill flush: %w", err)
+		}
+	}
+	s.buffered = 0
+	s.spillNanos += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// seal flushes pending file buffers so readers see complete segments.
+// Unlike a budget flush it leaves in-memory runs in memory: what never
+// exceeded the budget is merged straight from RAM.
+func (s *spillSet) seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p := range s.parts {
+		if s.parts[p].w != nil {
+			if err := s.parts[p].w.Flush(); err != nil {
+				return fmt.Errorf("mapreduce: spill seal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// partitionRuns returns one partition's runs — spilled segments and
+// still-buffered memory runs — ordered by map-task Seq, the order the
+// merge's tie-break contract requires. Call after seal; safe for
+// concurrent use across partitions (file access is ReadAt-based).
+func (s *spillSet) partitionRuns(p int) []RunReader {
+	s.mu.Lock()
+	sp := &s.parts[p]
+	type seqRun struct {
+		seq int
+		r   RunReader
+	}
+	runs := make([]seqRun, 0, len(sp.segs)+len(sp.mem))
+	for _, seg := range sp.segs {
+		runs = append(runs, seqRun{seg.seq, newFileRun(sp.f, seg.off, seg.n)})
+	}
+	for _, m := range sp.mem {
+		runs = append(runs, seqRun{m.seq, SliceRun(m.pairs)})
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(a, b int) bool { return runs[a].seq < runs[b].seq })
+	out := make([]RunReader, len(runs))
+	for i, r := range runs {
+		out[i] = r.r
+	}
+	return out
+}
+
+// materialize merges one partition into a single key-sorted slice — the
+// reduce-task payload the TCP master loads lazily, one in-flight task
+// at a time, instead of holding every partition resident at once.
+func (s *spillSet) materialize(p int) ([]Pair, error) {
+	runs := s.partitionRuns(p)
+	var out []Pair
+	err := MergeRunReaders(runs, func(kv Pair) error {
+		out = append(out, kv)
+		return nil
+	})
+	if cerr := closeRuns(runs); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stats reports the bytes written to spill files and the wall time
+// spent writing them.
+func (s *spillSet) stats() (spillBytes, spillNanos int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillBytes, s.spillNanos
+}
+
+// Close closes every spill file and removes the spill directory. Safe
+// to call when nothing ever spilled.
+func (s *spillSet) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	for p := range s.parts {
+		if s.parts[p].f != nil {
+			err = errors.Join(err, s.parts[p].f.Close())
+			s.parts[p].f = nil
+		}
+	}
+	if s.dir != "" {
+		err = errors.Join(err, os.RemoveAll(s.dir))
+		s.dir = ""
+	}
+	return err
+}
+
+// closeRuns closes every reader, joining errors, so no error path leaks
+// a file-backed run.
+func closeRuns(runs []RunReader) error {
+	var err error
+	for _, r := range runs {
+		err = errors.Join(err, r.Close())
+	}
+	return err
+}
+
+// grouper folds a key-sorted pair stream into (key, values) groups —
+// the streaming counterpart of groupSorted, fed by MergeRunReaders so a
+// reduce partition is never materialized whole.
+type grouper struct {
+	fn   func(key string, values [][]byte) error
+	key  string
+	vals [][]byte
+	open bool
+}
+
+func (g *grouper) add(kv Pair) error {
+	if g.open && kv.Key == g.key {
+		g.vals = append(g.vals, kv.Value)
+		return nil
+	}
+	if err := g.flush(); err != nil {
+		return err
+	}
+	g.open = true
+	g.key = kv.Key
+	g.vals = [][]byte{kv.Value}
+	return nil
+}
+
+// flush emits the pending group, if any. Call once after the stream
+// ends.
+func (g *grouper) flush() error {
+	if !g.open {
+		return nil
+	}
+	g.open = false
+	return g.fn(g.key, g.vals)
+}

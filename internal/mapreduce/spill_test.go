@@ -1,0 +1,377 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// collectReaders drains a MergeRunReaders merge into a slice, closing
+// every run.
+func collectReaders(t *testing.T, runs []RunReader) []Pair {
+	t.Helper()
+	var out []Pair
+	err := MergeRunReaders(runs, func(kv Pair) error {
+		out = append(out, kv)
+		return nil
+	})
+	if cerr := closeRuns(runs); cerr != nil {
+		t.Fatalf("closeRuns: %v", cerr)
+	}
+	if err != nil {
+		t.Fatalf("MergeRunReaders: %v", err)
+	}
+	return out
+}
+
+// TestMergeRunReadersEdgeCases covers the iterator merge on zero runs,
+// a single run, all-empty runs, and duplicate keys across runs.
+func TestMergeRunReadersEdgeCases(t *testing.T) {
+	if got := collectReaders(t, nil); len(got) != 0 {
+		t.Fatalf("zero runs merged to %v", got)
+	}
+	if got := collectReaders(t, []RunReader{}); len(got) != 0 {
+		t.Fatalf("empty run set merged to %v", got)
+	}
+	single := []Pair{{"a", []byte("1")}, {"b", []byte("2")}}
+	if got := collectReaders(t, []RunReader{SliceRun(single)}); !pairsEqual(got, single) {
+		t.Fatalf("single run merged to %v", got)
+	}
+	empties := []RunReader{SliceRun(nil), SliceRun([]Pair{}), SliceRun(nil)}
+	if got := collectReaders(t, empties); len(got) != 0 {
+		t.Fatalf("all-empty runs merged to %v", got)
+	}
+	// Duplicate keys across runs: ties must pop in run order.
+	a := []Pair{{"k", []byte("a0")}, {"k", []byte("a1")}}
+	b := []Pair{{"k", []byte("b0")}}
+	c := []Pair{{"j", []byte("c0")}, {"k", []byte("c1")}}
+	got := collectReaders(t, []RunReader{SliceRun(a), SliceRun(b), SliceRun(c)})
+	want := []Pair{{"j", []byte("c0")}, {"k", []byte("a0")}, {"k", []byte("a1")}, {"k", []byte("b0")}, {"k", []byte("c1")}}
+	if !pairsEqual(got, want) {
+		t.Fatalf("duplicate-key merge\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMergeRunsEdgeCasesSlices mirrors the edge cases on the slice fast
+// path, so both merge entry points honor the same contract.
+func TestMergeRunsEdgeCasesSlices(t *testing.T) {
+	if got := MergeRuns(nil); got != nil {
+		t.Fatalf("zero runs merged to %v", got)
+	}
+	if got := MergeRuns([][]Pair{nil, {}, nil}); got != nil {
+		t.Fatalf("all-empty runs merged to %v", got)
+	}
+	single := []Pair{{"a", []byte("1")}, {"b", []byte("2")}}
+	if got := MergeRuns([][]Pair{single}); !pairsEqual(got, single) {
+		t.Fatalf("single run merged to %v", got)
+	}
+	a := []Pair{{"k", []byte("a0")}, {"k", []byte("a1")}}
+	b := []Pair{{"k", []byte("b0")}}
+	c := []Pair{{"j", []byte("c0")}, {"k", []byte("c1")}}
+	got := MergeRuns([][]Pair{a, b, c})
+	want := []Pair{{"j", []byte("c0")}, {"k", []byte("a0")}, {"k", []byte("a1")}, {"k", []byte("b0")}, {"k", []byte("c1")}}
+	if !pairsEqual(got, want) {
+		t.Fatalf("duplicate-key merge\n got %v\nwant %v", got, want)
+	}
+}
+
+// spillRuns writes each run as a segment of one spillSet partition and
+// returns the file-backed readers, exercising the real on-disk framing.
+func spillRuns(t *testing.T, runs [][]Pair) (*spillSet, []RunReader) {
+	t.Helper()
+	ss := newSpillSet(1, 1) // 1-byte budget: every add flushes
+	for seq, run := range runs {
+		parts := [][]Pair{run}
+		if err := ss.add(seq, parts); err != nil {
+			t.Fatalf("add run %d: %v", seq, err)
+		}
+	}
+	if err := ss.seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return ss, ss.partitionRuns(0)
+}
+
+// TestPropFileBackedMergeEqualsInMemory is the file-backed vs in-memory
+// equivalence property: the same sorted runs, merged once from memory
+// and once from spill files, produce byte-identical output — and both
+// equal MergeRuns on the raw slices.
+func TestPropFileBackedMergeEqualsInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(runCount, runLen, keySpace uint8) bool {
+		k := int(runCount)%6 + 1
+		runs := make([][]Pair, k)
+		for r := range runs {
+			runs[r] = randomPairs(rng, int(runLen)%40, int(keySpace)%8+1)
+			sortPairs(runs[r])
+		}
+		want := MergeRuns(runs)
+
+		mem := make([]RunReader, k)
+		for r := range runs {
+			mem[r] = SliceRun(runs[r])
+		}
+		gotMem := []Pair{}
+		if err := MergeRunReaders(mem, func(kv Pair) error { gotMem = append(gotMem, kv); return nil }); err != nil {
+			t.Fatalf("in-memory merge: %v", err)
+		}
+
+		ss, fileRuns := spillRuns(t, runs)
+		defer func() {
+			if err := ss.Close(); err != nil {
+				t.Fatalf("close spill set: %v", err)
+			}
+		}()
+		gotFile := []Pair{}
+		err := MergeRunReaders(fileRuns, func(kv Pair) error { gotFile = append(gotFile, kv); return nil })
+		if cerr := closeRuns(fileRuns); cerr != nil {
+			t.Fatalf("close runs: %v", cerr)
+		}
+		if err != nil {
+			t.Fatalf("file-backed merge: %v", err)
+		}
+		return pairsEqual(want, gotMem) && pairsEqual(want, gotFile)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillSetOutOfOrderSeqs verifies the merge order follows task Seq,
+// not arrival order — the TCP master's results land from concurrent
+// reader goroutines in arbitrary order.
+func TestSpillSetOutOfOrderSeqs(t *testing.T) {
+	ss := newSpillSet(1, 1)
+	defer func() {
+		if err := ss.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}()
+	// Same key everywhere: output order is exactly tie-break order.
+	if err := ss.add(2, [][]Pair{{{"k", []byte("seq2")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.add(0, [][]Pair{{{"k", []byte("seq0")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.add(1, [][]Pair{{{"k", []byte("seq1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.seal(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{"k", []byte("seq0")}, {"k", []byte("seq1")}, {"k", []byte("seq2")}}
+	if !pairsEqual(got, want) {
+		t.Fatalf("out-of-order seqs merged as %v", got)
+	}
+}
+
+// TestSpillSetMixedMemoryAndDisk holds some runs under the budget in
+// memory while others spill, and checks the mixed merge still follows
+// seq order.
+func TestSpillSetMixedMemoryAndDisk(t *testing.T) {
+	ss := newSpillSet(1, 1<<20) // large budget: nothing flushes on its own
+	defer func() {
+		if err := ss.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}()
+	if err := ss.add(1, [][]Pair{{{"k", []byte("seq1")}}}); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	if err := ss.flushLocked(); err != nil { // force seq 1 to disk
+		ss.mu.Unlock()
+		t.Fatal(err)
+	}
+	ss.mu.Unlock()
+	if err := ss.add(0, [][]Pair{{{"k", []byte("seq0")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ss.stats(); got == 0 {
+		t.Fatal("expected spilled bytes")
+	}
+	got, err := ss.materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{"k", []byte("seq0")}, {"k", []byte("seq1")}}
+	if !pairsEqual(got, want) {
+		t.Fatalf("mixed memory/disk merge %v", got)
+	}
+}
+
+// TestFileRunRejectsTruncation: a segment cut mid-record must surface
+// an error, not a silent short run.
+func TestFileRunRejectsTruncation(t *testing.T) {
+	ss, runs := spillRuns(t, [][]Pair{{{"key", []byte("value")}}})
+	defer func() {
+		if err := ss.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}()
+	if err := closeRuns(runs); err != nil {
+		t.Fatal(err)
+	}
+	seg := ss.parts[0].segs[0]
+	truncated := newFileRun(ss.parts[0].f, seg.off, seg.n-2)
+	if _, err := truncated.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated segment read returned %v", err)
+	}
+}
+
+// TestLocalSpillOutputIdentical runs one job through the Local executor
+// at several spill budgets (including budgets forcing many flushes) and
+// requires byte-identical output plus populated spill counters.
+func TestLocalSpillOutputIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	input := make([]Pair, 400)
+	for i := range input {
+		input[i] = Pair{Key: strconv.Itoa(i), Value: []byte{byte(rng.Intn(8))}}
+	}
+	job := func(spill int64) *Job {
+		return &Job{
+			Name:        "spill-wc",
+			SpillBytes:  spill,
+			SplitSize:   16,
+			NumReducers: 3,
+			Map: func(key string, value []byte, emit Emit) error {
+				emit(fmt.Sprintf("g%d", value[0]), []byte(key))
+				return nil
+			},
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				emit(key, []byte(strconv.Itoa(len(values))))
+				return nil
+			},
+		}
+	}
+	exec := &Local{Workers: 4}
+	base, baseCtr, err := exec.Run(job(0), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseCtr.SpillBytes != 0 {
+		t.Fatalf("in-memory run reported %d spill bytes", baseCtr.SpillBytes)
+	}
+	for _, budget := range []int64{1, 64, 1 << 20} {
+		out, ctr, err := exec.Run(job(budget), input)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !pairsEqual(out, base) {
+			t.Fatalf("budget %d: output diverged from in-memory run", budget)
+		}
+		if budget <= 64 && ctr.SpillBytes == 0 {
+			t.Fatalf("budget %d: expected spilling", budget)
+		}
+		if ctr.MapOutputs != baseCtr.MapOutputs || ctr.ShuffleBytes != baseCtr.ShuffleBytes {
+			t.Fatalf("budget %d: counters diverged: %+v vs %+v", budget, ctr, baseCtr)
+		}
+	}
+}
+
+// TestTCPSpillOutputIdentical is the same identity check over the TCP
+// executor: the master spills map results as they arrive and re-merges
+// reduce partitions lazily, and the output must match the in-memory
+// master bit for bit.
+func TestTCPSpillOutputIdentical(t *testing.T) {
+	job := &Job{
+		Name:        "tcp-spill-wc",
+		SplitSize:   8,
+		NumReducers: 3,
+		Map: func(key string, value []byte, emit Emit) error {
+			emit(fmt.Sprintf("g%d", value[0]%5), []byte(key))
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+	}
+	Register(job)
+	input := make([]Pair, 200)
+	for i := range input {
+		input[i] = Pair{Key: strconv.Itoa(i), Value: []byte{byte(i * 7)}}
+	}
+	run := func(spill int64) ([]Pair, *Counters) {
+		t.Helper()
+		m, err := NewMaster("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if cerr := m.Close(); cerr != nil {
+				t.Fatalf("close master: %v", cerr)
+			}
+		}()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < 2; i++ {
+			go func() { _ = RunWorkerContext(ctx, m.Addr()) }()
+		}
+		j := *job
+		j.SpillBytes = spill
+		out, ctr, err := m.Run(&j, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, ctr
+	}
+	base, baseCtr := run(0)
+	spilled, ctr := run(128)
+	if !pairsEqual(base, spilled) {
+		t.Fatal("spill-enabled TCP output diverged from in-memory master")
+	}
+	if ctr.SpillBytes == 0 {
+		t.Fatal("expected master-side spilling at a 128-byte budget")
+	}
+	if baseCtr.MapOutputs != ctr.MapOutputs {
+		t.Fatalf("MapOutputs diverged: %d vs %d", baseCtr.MapOutputs, ctr.MapOutputs)
+	}
+}
+
+// BenchmarkSpillMergeShuffle times the Local executor's fused
+// spill-merge-reduce against the in-memory shuffle on the same job.
+func BenchmarkSpillMergeShuffle(b *testing.B) {
+	input := make([]Pair, 4096)
+	for i := range input {
+		input[i] = Pair{Key: strconv.Itoa(i), Value: make([]byte, 64)}
+	}
+	job := func(spill int64) *Job {
+		return &Job{
+			Name:        "bench-spill",
+			SpillBytes:  spill,
+			SplitSize:   256,
+			NumReducers: 4,
+			Map: func(key string, value []byte, emit Emit) error {
+				emit(key[len(key)-1:], value)
+				return nil
+			},
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				emit(key, []byte(strconv.Itoa(len(values))))
+				return nil
+			},
+		}
+	}
+	exec := &Local{}
+	for _, budget := range []int64{0, 64 << 10} {
+		b.Run(fmt.Sprintf("spill=%d", budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exec.Run(job(budget), input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

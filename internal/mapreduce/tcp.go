@@ -55,6 +55,14 @@ type taskMsg struct {
 	// NumReducers tells map tasks how to partition their output.
 	NumReducers int
 	Records     []Pair
+
+	// load lazily materializes Records just before the task is encoded
+	// (nil for eagerly-built tasks). The spill-enabled master hands out
+	// reduce partitions this way so that only the in-flight window's
+	// partitions are ever resident; the copy queued for requeue keeps
+	// load and nil Records, so a straggler re-dispatch re-merges from
+	// the spill files. Unexported, so neither codec ships it.
+	load func() ([]Pair, error)
 }
 
 // resultMsg is the worker's reply.
@@ -264,7 +272,7 @@ func (m *Master) Run(job *Job, input []Pair) ([]Pair, *Counters, error) {
 // their socket deadlines — and closes the master: the byte streams of
 // abandoned exchanges are unrecoverable, so a cancelled master cannot
 // be reused (exactly like a master whose job failed).
-func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair, *Counters, error) {
+func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pair, _ *Counters, err error) {
 	if err := job.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -296,13 +304,34 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	wireBefore := sumWireStats(workers)
 
 	// ---- map phase ----
+	// With Job.SpillBytes set, map results are drained to the spill
+	// manager as they arrive (the sink runs inside complete, so the
+	// master never holds more than the in-flight window's results), and
+	// reduce partitions are later re-merged from the runs lazily, one
+	// in-flight task at a time.
+	var ss *spillSet
+	var sink func(*resultMsg) error
+	sunkOutputs := 0
+	if job.SpillBytes > 0 {
+		ss = newSpillSet(numReducers, job.SpillBytes)
+		defer func() { err = errors.Join(err, ss.Close()) }()
+		sink = func(res *resultMsg) error {
+			if len(res.Parts) > numReducers {
+				return fmt.Errorf("worker returned partition %d of %d", len(res.Parts)-1, numReducers)
+			}
+			for _, pairs := range res.Parts {
+				sunkOutputs += len(pairs)
+			}
+			return ss.add(res.Seq, res.Parts)
+		}
+	}
 	mapTasks := splits(input, job.splitSize())
 	ctr.MapTasks = len(mapTasks)
 	msgs := make([]taskMsg, len(mapTasks))
 	for i, t := range mapTasks {
 		msgs[i] = taskMsg{Seq: i, JobName: job.Name, Phase: "map", Conf: job.Conf, NumReducers: numReducers, Records: t}
 	}
-	mapResults, err := m.dispatch(ctx, workers, msgs)
+	mapResults, err := m.dispatch(ctx, workers, msgs, sink)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -310,38 +339,52 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	// wire — actual encoded bytes, not the key+value approximation.
 	ctr.ShuffleBytes = sumWireStats(workers).bytesIn - wireBefore.bytesIn
 
-	// ---- shuffle: per-partition k-way merge of the map-side runs ----
-	for _, res := range mapResults {
-		if len(res.Parts) > numReducers {
-			return nil, nil, fmt.Errorf("mapreduce: worker returned partition %d of %d", len(res.Parts)-1, numReducers)
+	// ---- shuffle + reduce dispatch ----
+	rmsgs := make([]taskMsg, 0, numReducers)
+	if ss != nil {
+		ctr.MapOutputs = sunkOutputs
+		if serr := ss.seal(); serr != nil {
+			return nil, nil, fmt.Errorf("mapreduce: %s: %w", job.Name, serr)
 		}
-		for _, pairs := range res.Parts {
-			ctr.MapOutputs += len(pairs)
+		for p := 0; p < numReducers; p++ {
+			p := p
+			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf,
+				load: func() ([]Pair, error) { return ss.materialize(p) }})
 		}
-	}
-	partitions := make([][]Pair, numReducers)
-	var shuffleWG sync.WaitGroup
-	for p := 0; p < numReducers; p++ {
-		shuffleWG.Add(1)
-		go func(p int) {
-			defer shuffleWG.Done()
-			runs := make([][]Pair, 0, len(mapResults))
-			for _, res := range mapResults {
-				if p < len(res.Parts) && len(res.Parts[p]) > 0 {
-					runs = append(runs, res.Parts[p])
-				}
+	} else {
+		// In-memory shuffle: per-partition k-way merge of the map-side
+		// runs, all partitions resident before dispatch.
+		for _, res := range mapResults {
+			if len(res.Parts) > numReducers {
+				return nil, nil, fmt.Errorf("mapreduce: worker returned partition %d of %d", len(res.Parts)-1, numReducers)
 			}
-			partitions[p] = MergeRuns(runs)
-		}(p)
+			for _, pairs := range res.Parts {
+				ctr.MapOutputs += len(pairs)
+			}
+		}
+		partitions := make([][]Pair, numReducers)
+		var shuffleWG sync.WaitGroup
+		for p := 0; p < numReducers; p++ {
+			shuffleWG.Add(1)
+			go func(p int) {
+				defer shuffleWG.Done()
+				runs := make([][]Pair, 0, len(mapResults))
+				for _, res := range mapResults {
+					if p < len(res.Parts) && len(res.Parts[p]) > 0 {
+						runs = append(runs, res.Parts[p])
+					}
+				}
+				partitions[p] = MergeRuns(runs)
+			}(p)
+		}
+		shuffleWG.Wait()
+		for p := 0; p < numReducers; p++ {
+			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p]})
+		}
 	}
-	shuffleWG.Wait()
 
 	// ---- reduce phase ----
-	rmsgs := make([]taskMsg, 0, numReducers)
-	for p := 0; p < numReducers; p++ {
-		rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p]})
-	}
-	redResults, err := m.dispatch(ctx, workers, rmsgs)
+	redResults, err := m.dispatch(ctx, workers, rmsgs, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -361,6 +404,9 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) ([]Pair
 	ctr.WireBytesIn = wireAfter.bytesIn - wireBefore.bytesIn
 	ctr.EncodeNanos = wireAfter.encodeNanos - wireBefore.encodeNanos
 	ctr.DecodeNanos = wireAfter.decodeNanos - wireBefore.decodeNanos
+	if ss != nil {
+		ctr.SpillBytes, ctr.SpillNanos = ss.stats()
+	}
 	return out, ctr, nil
 }
 
@@ -385,6 +431,11 @@ func sumWireStats(workers []*workerConn) wireSnapshot {
 type dispatchState struct {
 	queue   chan taskMsg // undispatched tasks; capacity covers every requeue
 	results []resultMsg
+	// sink, when set, consumes each successful result's Parts as it
+	// lands (under mu, so calls are serialized) and the stored result
+	// keeps only its Seq — the spill-enabled master drains map output
+	// to disk here instead of holding every task's runs resident.
+	sink func(*resultMsg) error
 
 	mu        sync.Mutex
 	done      int
@@ -419,11 +470,32 @@ func (d *dispatchState) complete(res resultMsg) {
 		d.closePhase()
 		return
 	}
+	if d.sink != nil {
+		if err := d.sink(&res); err != nil {
+			if d.failure == nil {
+				d.failure = fmt.Errorf("mapreduce: task %d result: %w", res.Seq, err)
+			}
+			d.closePhase()
+			return
+		}
+		res.Parts = nil
+	}
 	d.results[res.Seq] = res
 	d.done++
 	if d.done == len(d.results) {
 		d.closePhase()
 	}
+}
+
+// fail records a master-side error (e.g. a reduce partition that could
+// not be re-merged from its spill files) and ends the phase.
+func (d *dispatchState) fail(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failure == nil {
+		d.failure = err
+	}
+	d.closePhase()
 }
 
 // workerGone retires a dead connection; the job fails only when no
@@ -447,13 +519,14 @@ func (d *dispatchState) workerGone(err error) {
 // error, no workers remain, or the context is cancelled; cancellation
 // unblocks in-flight socket operations by expiring their deadlines and
 // closes the master (see RunContext).
-func (m *Master) dispatch(ctx context.Context, workers []*workerConn, tasks []taskMsg) ([]resultMsg, error) {
+func (m *Master) dispatch(ctx context.Context, workers []*workerConn, tasks []taskMsg, sink func(*resultMsg) error) ([]resultMsg, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
 	d := &dispatchState{
 		queue:     make(chan taskMsg, len(tasks)),
 		results:   make([]resultMsg, len(tasks)),
+		sink:      sink,
 		alive:     len(workers),
 		phaseDone: make(chan struct{}),
 	}
@@ -559,9 +632,27 @@ writerLoop:
 			break writerLoop
 		}
 		inflight <- t // capacity == window, and sem holds a slot: never blocks
+		wt := t
+		if t.load != nil {
+			// Materialize the lazily-loaded records for encoding only; the
+			// in-flight copy stays unmaterialized so a requeue re-merges
+			// from disk instead of pinning the partition in memory. A load
+			// failure is a master-side disk error, not this worker's fault:
+			// fail the phase rather than retrying the task elsewhere.
+			recs, lerr := t.load()
+			if lerr != nil {
+				d.fail(fmt.Errorf("mapreduce: task %d load: %w", t.Seq, lerr))
+				// Fall through the write-error teardown so the socket close
+				// unblocks this connection's reader promptly; the phase
+				// failure above is what dispatch reports.
+				writeErr = lerr
+				break
+			}
+			wt.Records = recs
+		}
 		writeErr = w.conn.SetWriteDeadline(time.Now().Add(m.cfg.IOTimeout))
 		if writeErr == nil {
-			_, writeErr = w.cdc.writeTask(&t)
+			_, writeErr = w.cdc.writeTask(&wt)
 		}
 		if writeErr != nil {
 			// The task is in the in-flight FIFO; the teardown below

@@ -1,0 +1,389 @@
+// Package shard stores a dense row matrix as a directory of row-range
+// shard files, so out-of-core drivers can stream or demand-read input
+// rows instead of holding the full matrix resident. The layout is the
+// DASC analogue of HDFS input splits: each shard owns a contiguous,
+// half-open row range [StartRow, StartRow+Rows), shards tile the
+// matrix without gaps or overlap, and any row is addressable with one
+// ReadAt at a fixed stride.
+//
+// File format ("DSHD", version 1), all integers little-endian:
+//
+//	offset  size  field
+//	0       4     magic "DSHD"
+//	4       4     version (uint32, = 1)
+//	8       8     startRow (uint64)
+//	16      8     rows (uint64)
+//	24      8     cols (uint64)
+//	32      8·cols·rows  row-major float64 payload
+//
+// The fixed 32-byte header plus the fixed 8·cols row stride means
+// row i of the matrix lives in the shard covering i at offset
+// 32 + (i-startRow)·8·cols, with no index structure to load.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// magic identifies a shard file; version gates format evolution.
+const (
+	magic      = "DSHD"
+	version    = 1
+	headerSize = 32
+)
+
+// DefaultRowsPerShard is the Writer's shard size when none is given —
+// small enough that a worker's working set is a modest slice of the
+// matrix, large enough that a million-row corpus stays under a few
+// hundred files.
+const DefaultRowsPerShard = 8192
+
+// Writer splits an incoming row stream into shard files under a
+// directory. Rows arrive through Append in matrix order; Close seals
+// the final partial shard.
+type Writer struct {
+	dir     string
+	cols    int
+	perFile int
+
+	f        *os.File // current shard, nil between shards
+	shardIdx int
+	startRow int // first row of the current shard
+	rowInFil int // rows written to the current shard
+	nextRow  int // global row index of the next Append
+	buf      []byte
+	closed   bool
+}
+
+// NewWriter creates a shard writer for rows of cols float64 columns,
+// writing at most rowsPerShard rows per file (DefaultRowsPerShard when
+// rowsPerShard <= 0). The directory is created if missing.
+func NewWriter(dir string, cols, rowsPerShard int) (*Writer, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("shard: cols must be positive, got %d", cols)
+	}
+	if rowsPerShard <= 0 {
+		rowsPerShard = DefaultRowsPerShard
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return &Writer{
+		dir:     dir,
+		cols:    cols,
+		perFile: rowsPerShard,
+		buf:     make([]byte, 8*cols),
+	}, nil
+}
+
+// Append writes one row. The row must have exactly cols values.
+func (w *Writer) Append(row []float64) error {
+	if w.closed {
+		return errors.New("shard: append after Close")
+	}
+	if len(row) != w.cols {
+		return fmt.Errorf("shard: row has %d cols, want %d", len(row), w.cols)
+	}
+	if w.f == nil {
+		if err := w.openShard(); err != nil {
+			return err
+		}
+	}
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(w.buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return errors.Join(fmt.Errorf("shard: write row %d: %w", w.nextRow, err), w.f.Close())
+	}
+	w.rowInFil++
+	w.nextRow++
+	if w.rowInFil == w.perFile {
+		return w.sealShard()
+	}
+	return nil
+}
+
+// openShard starts the next shard file with a placeholder header; the
+// real row count lands in sealShard.
+func (w *Writer) openShard() error {
+	name := filepath.Join(w.dir, fmt.Sprintf("shard-%06d.dshd", w.shardIdx))
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	w.f = f
+	w.startRow = w.nextRow
+	w.rowInFil = 0
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(w.startRow))
+	// rows written as 0 here; fixed up on seal.
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(w.cols))
+	if _, err := f.Write(hdr); err != nil {
+		return errors.Join(fmt.Errorf("shard: write header: %w", err), f.Close())
+	}
+	return nil
+}
+
+// sealShard stamps the row count into the header and closes the file.
+func (w *Writer) sealShard() error {
+	var rows [8]byte
+	binary.LittleEndian.PutUint64(rows[:], uint64(w.rowInFil))
+	_, werr := w.f.WriteAt(rows[:], 16)
+	cerr := w.f.Close()
+	w.f = nil
+	w.shardIdx++
+	if err := errors.Join(werr, cerr); err != nil {
+		return fmt.Errorf("shard: seal shard %d: %w", w.shardIdx-1, err)
+	}
+	return nil
+}
+
+// Close seals any partial final shard. It is safe to call once.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("shard: double Close")
+	}
+	w.closed = true
+	if w.f != nil {
+		return w.sealShard()
+	}
+	return nil
+}
+
+// Rows returns the number of rows appended so far.
+func (w *Writer) Rows() int { return w.nextRow }
+
+// WriteRows shards an in-memory row slice in one call — the batch
+// convenience over NewWriter/Append/Close.
+func WriteRows(dir string, rows [][]float64, cols, rowsPerShard int) (err error) {
+	w, werr := NewWriter(dir, cols, rowsPerShard)
+	if werr != nil {
+		return werr
+	}
+	defer func() { err = errors.Join(err, w.Close()) }()
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardFile is one opened shard with its decoded header.
+type shardFile struct {
+	f          *os.File
+	startRow   int
+	rows       int
+	colsCached int
+}
+
+// Reader exposes a shard directory as a random-access row matrix. All
+// read methods are safe for concurrent use (reads go through ReadAt);
+// BytesRead tallies payload bytes fetched from disk.
+type Reader struct {
+	shards []shardFile
+	rows   int
+	cols   int
+	read   atomic.Int64
+}
+
+// Open scans dir for shard-*.dshd files, validates their headers tile
+// a contiguous [0, rows) range with one column count, and returns a
+// Reader over them.
+func Open(dir string) (_ *Reader, err error) {
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		return nil, fmt.Errorf("shard: %w", derr)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".dshd") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("shard: no shard files in %s", dir)
+	}
+	sort.Strings(names)
+	r := &Reader{}
+	defer func() {
+		if err != nil {
+			err = errors.Join(err, r.Close())
+		}
+	}()
+	for _, name := range names {
+		sf, oerr := openShard(filepath.Join(dir, name))
+		if oerr != nil {
+			return nil, oerr
+		}
+		r.shards = append(r.shards, sf)
+		if len(r.shards) == 1 {
+			r.cols = sf.cols()
+		} else if sf.cols() != r.cols {
+			return nil, fmt.Errorf("shard: %s has %d cols, want %d", name, sf.cols(), r.cols)
+		}
+		if sf.startRow != r.rows {
+			return nil, fmt.Errorf("shard: %s starts at row %d, want %d (gap or overlap)", name, sf.startRow, r.rows)
+		}
+		r.rows += sf.rows
+	}
+	return r, nil
+}
+
+// cols reads the column count back out of the shard header cache.
+func (s *shardFile) cols() int { return s.colsCached }
+
+// openShard opens and validates one shard file.
+func openShard(path string) (shardFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return shardFile{}, fmt.Errorf("shard: %w", err)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: short header: %w", path, err), f.Close())
+	}
+	if string(hdr[:4]) != magic {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: bad magic %q", path, hdr[:4]), f.Close())
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: unsupported version %d", path, v), f.Close())
+	}
+	startRow := binary.LittleEndian.Uint64(hdr[8:])
+	rows := binary.LittleEndian.Uint64(hdr[16:])
+	cols := binary.LittleEndian.Uint64(hdr[24:])
+	const maxDim = 1 << 40
+	if cols == 0 || cols > maxDim || rows > maxDim || startRow > maxDim {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: implausible header (start=%d rows=%d cols=%d)", path, startRow, rows, cols), f.Close())
+	}
+	st, serr := f.Stat()
+	if serr != nil {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: %w", path, serr), f.Close())
+	}
+	want := int64(headerSize) + int64(rows)*int64(cols)*8
+	if st.Size() != want {
+		return shardFile{}, errors.Join(fmt.Errorf("shard: %s: size %d, want %d for %d×%d", path, st.Size(), want, rows, cols), f.Close())
+	}
+	return shardFile{f: f, startRow: int(startRow), rows: int(rows), colsCached: int(cols)}, nil
+}
+
+// Rows returns the total row count across all shards.
+func (r *Reader) Rows() int { return r.rows }
+
+// Cols returns the column count.
+func (r *Reader) Cols() int { return r.cols }
+
+// BytesRead returns the payload bytes read from shard files so far.
+func (r *Reader) BytesRead() int64 { return r.read.Load() }
+
+// locate finds the shard covering global row i by binary search.
+func (r *Reader) locate(i int) (*shardFile, error) {
+	if i < 0 || i >= r.rows {
+		return nil, fmt.Errorf("shard: row %d out of range [0,%d)", i, r.rows)
+	}
+	lo, hi := 0, len(r.shards)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.shards[mid].startRow+r.shards[mid].rows <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &r.shards[lo], nil
+}
+
+// ReadRow reads global row i into dst (allocated when nil or short)
+// and returns it. Safe for concurrent use.
+func (r *Reader) ReadRow(i int, dst []float64) ([]float64, error) {
+	sf, err := r.locate(i)
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < r.cols {
+		dst = make([]float64, r.cols)
+	}
+	dst = dst[:r.cols]
+	stride := int64(r.cols) * 8
+	off := headerSize + int64(i-sf.startRow)*stride
+	buf := make([]byte, stride)
+	if _, err := sf.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("shard: read row %d: %w", i, err)
+	}
+	r.read.Add(stride)
+	for j := range dst {
+		dst[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+	}
+	return dst, nil
+}
+
+// ReadRows gathers the given global rows into a freshly allocated
+// [len(indices)][cols] slice — the demand-hydration primitive for
+// bucket solves that touch a sparse subset of rows.
+func (r *Reader) ReadRows(indices []int) ([][]float64, error) {
+	out := make([][]float64, len(indices))
+	for k, i := range indices {
+		row, err := r.ReadRow(i, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = row
+	}
+	return out, nil
+}
+
+// Stream visits rows [start, start+count) in order, reusing one row
+// buffer across calls — the sequential scan primitive for map tasks
+// assigned a row range. fn must not retain the slice.
+func (r *Reader) Stream(start, count int, fn func(i int, row []float64) error) error {
+	if count == 0 {
+		return nil
+	}
+	if start < 0 || count < 0 || start+count > r.rows {
+		return fmt.Errorf("shard: range [%d,%d) out of [0,%d)", start, start+count, r.rows)
+	}
+	buf := make([]float64, r.cols)
+	for i := start; i < start+count; i++ {
+		row, err := r.ReadRow(i, buf)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every shard file handle.
+func (r *Reader) Close() error {
+	var errs []error
+	for i := range r.shards {
+		if r.shards[i].f != nil {
+			errs = append(errs, r.shards[i].f.Close())
+			r.shards[i].f = nil
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Ranges returns the [start, start+rows) row range of every shard in
+// order — the natural map-task split list for a sharded job.
+func (r *Reader) Ranges() [][2]int {
+	out := make([][2]int, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = [2]int{s.startRow, s.startRow + s.rows}
+	}
+	return out
+}
