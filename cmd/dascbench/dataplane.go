@@ -47,10 +47,17 @@ func benchDataPlane(add addFunc, quick bool) error {
 	inmemJob := shuffleJob("dascbench/shuffle-inmem")
 	spillJob := shuffleJob("dascbench/shuffle-spill")
 	spillJob.SpillBytes = 64 << 10
+	compJob := shuffleJob("dascbench/shuffle-spill-comp")
+	compJob.SpillBytes = 64 << 10
+	compJob.Compress = true
 	for _, sj := range []struct {
 		name string
 		job  *mapreduce.Job
-	}{{"shuffle/local-inmem", inmemJob}, {"shuffle/local-spill", spillJob}} {
+	}{
+		{"shuffle/local-inmem", inmemJob},
+		{"shuffle/local-spill", spillJob},
+		{"shuffle/local-spill-comp", compJob},
+	} {
 		var ctr *mapreduce.Counters
 		var jobErr error
 		r := add(sj.name, 0, 0, func() {
@@ -65,9 +72,14 @@ func benchDataPlane(add addFunc, quick bool) error {
 		}
 		r.ShuffleBytes = ctr.ShuffleBytes
 		r.SpillBytes = ctr.SpillBytes
+		r.CompressedBytes = ctr.CompressedBytes
+		if raw := ctr.SpillBytes + ctr.CompressedBytes; raw > 0 && sj.job.Compress {
+			r.CompressRatio = float64(ctr.SpillBytes) / float64(raw)
+		}
 	}
 
-	// Frame codec round trip over one run's worth of records.
+	// Frame codec round trip over one run's worth of records, plain and
+	// through the v3 flate wrapper; the ratio is compressed/raw.
 	var wireErr error
 	add("wire/encode", 0, 0, func() {
 		if _, err := mapreduce.WireRoundTrip(runs[0]); err != nil && wireErr == nil {
@@ -76,6 +88,20 @@ func benchDataPlane(add addFunc, quick bool) error {
 	})
 	if wireErr != nil {
 		return wireErr
+	}
+	var wireSize, rawSize int
+	r := add("wire/encode-comp", 0, 0, func() {
+		var err error
+		if wireSize, rawSize, err = mapreduce.WireRoundTripOpts(runs[0], true); err != nil && wireErr == nil {
+			wireErr = err
+		}
+	})
+	if wireErr != nil {
+		return wireErr
+	}
+	r.CompressedBytes = int64(rawSize - wireSize)
+	if rawSize > 0 {
+		r.CompressRatio = float64(wireSize) / float64(rawSize)
 	}
 
 	// End-to-end shuffle-heavy TCP job: many small pairs, 4 reducers,
@@ -89,17 +115,20 @@ func benchDataPlane(add addFunc, quick bool) error {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: []byte{byte(i)}}
 	}
 	configs := []struct {
-		name string
-		cfg  mapreduce.TCPConfig
+		name     string
+		cfg      mapreduce.TCPConfig
+		compress bool
 	}{
-		{"tcp/pipeline", mapreduce.TCPConfig{}},
+		{"tcp/pipeline", mapreduce.TCPConfig{}, false},
+		{"tcp/pipeline-comp", mapreduce.TCPConfig{}, true},
 		{"tcp/lockstep-gob", mapreduce.TCPConfig{
 			MaxInFlight:    1,
 			MaxWireVersion: mapreduce.WireVersionGob,
-		}},
+		}, false},
 	}
 	for _, c := range configs {
 		job := shuffleJob("dascbench/" + c.name)
+		job.Compress = c.compress
 		mapreduce.Register(job)
 		if err := benchTCPJob(add, c.name, c.cfg, job, input); err != nil {
 			return err
@@ -160,13 +189,22 @@ func benchTCPJob(add addFunc, name string, cfg mapreduce.TCPConfig, job *mapredu
 		time.Sleep(time.Millisecond)
 	}
 	var runErr error
-	add(name, 0, 0, func() {
-		if _, _, err := m.Run(job, input); err != nil && runErr == nil {
+	var ctr *mapreduce.Counters
+	r := add(name, 0, 0, func() {
+		if _, c, err := m.Run(job, input); err != nil && runErr == nil {
 			runErr = err
+		} else {
+			ctr = c
 		}
 	})
 	if runErr != nil {
 		return runErr
+	}
+	r.ShuffleBytes = ctr.ShuffleBytes
+	r.CompressedBytes = ctr.CompressedBytes
+	r.CompressNanos = ctr.CompressNanos
+	if raw := ctr.WireBytesOut + ctr.WireBytesIn + ctr.CompressedBytes; job.Compress && raw > 0 {
+		r.CompressRatio = float64(ctr.WireBytesOut+ctr.WireBytesIn) / float64(raw)
 	}
 	if err := m.Close(); err != nil {
 		return err

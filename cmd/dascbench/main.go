@@ -61,6 +61,17 @@ type Result struct {
 	SpillBytes     int64 `json:"spill_bytes,omitempty"`
 	ShardReadBytes int64 `json:"shard_read_bytes,omitempty"`
 	DiskBytes      int64 `json:"disk_bytes,omitempty"`
+	// Compressed-data-plane counters (wire/spill benchmarks and -scale
+	// runs with Compression on): bytes the flate passes removed from
+	// the shuffle and spill streams, the resulting compressed/raw size
+	// ratio, and the wall time spent inside the codec.
+	CompressedBytes int64   `json:"compressed_bytes,omitempty"`
+	CompressRatio   float64 `json:"compress_ratio,omitempty"`
+	CompressNanos   int64   `json:"compress_ns,omitempty"`
+	// Shard read-coalescing counters: ReadAt calls issued against shard
+	// files and how many of them served more than one row.
+	ShardReadOps   int64 `json:"shard_read_ops,omitempty"`
+	CoalescedReads int64 `json:"coalesced_reads,omitempty"`
 	// N and PeakRSSBytes describe -scale runs: the dataset size, and
 	// the process peak resident set (VmHWM) after the phase finished.
 	// InMemoryBytes is the footprint the batch (all-in-RAM) pipeline

@@ -81,13 +81,89 @@ func benchScale(rep *Report, n int, dir string, spill int64) error {
 	fmt.Printf("%-24s %12d ns  N=%d  terms=%d  shards=%dB  batch-would-need=%dB\n",
 		"scale/shard-write", shardNs, n, meta.Terms, shardBytes, inmem)
 
-	// Phase 2: sharded DASC over a spill-enabled 2-worker TCP cluster.
-	// Embed mode keeps the largest merged buckets dot-product-bound so
-	// the solve stage's memory stays flat as N grows.
-	cfg := core.Config{Seed: 1, SpillBytes: spill, EmbedDim: 64, EmbedCutoff: 2048}
+	// Phase 2: sharded DASC over a spill-enabled 2-worker TCP cluster,
+	// once on each data plane — plain and compressed — so every report
+	// carries the A/B. Embed mode keeps the largest merged buckets
+	// dot-product-bound so the solve stage's memory stays flat as N
+	// grows.
+	var res *core.Result
+	for _, plane := range []struct {
+		name     string
+		compress bool
+	}{{"scale/sharded-tcp", false}, {"scale/sharded-tcp-comp", true}} {
+		cfg := core.Config{Seed: 1, SpillBytes: spill, EmbedDim: 64, EmbedCutoff: 2048,
+			Compression: plane.compress}
+		wall, r, err := runShardedTCP(dir, cfg)
+		if err != nil {
+			return err
+		}
+		res = r
+		recall := sampledPairRecall(labels, res.Labels, 500_000)
+		ctr := res.MapReduce
+		entry := Result{
+			Name: plane.name, NsPerOp: wall, N: int64(n), Acc: recall,
+			ShuffleBytes:    ctr.ShuffleBytes,
+			SpillBytes:      ctr.SpillBytes,
+			ShardReadBytes:  ctr.ShardReadBytes,
+			ShardReadOps:    ctr.ShardReadOps,
+			CoalescedReads:  ctr.ShardCoalescedReads,
+			CompressedBytes: ctr.CompressedBytes,
+			CompressNanos:   ctr.CompressNanos,
+			PeakRSSBytes:    peakRSS(),
+		}
+		if raw := ctr.SpillBytes + ctr.CompressedBytes; plane.compress && raw > 0 {
+			entry.CompressRatio = float64(ctr.SpillBytes) / float64(raw)
+		}
+		rep.Results = append(rep.Results, entry)
+		fmt.Printf("%-24s %12d ns  clusters=%d buckets=%d spill=%dB saved=%dB shard-read=%dB ops=%d coalesced=%d recall=%.3f rss=%dB\n",
+			plane.name, wall, res.Clusters, len(res.Buckets),
+			ctr.SpillBytes, ctr.CompressedBytes, ctr.ShardReadBytes,
+			ctr.ShardReadOps, ctr.ShardCoalescedReads, recall, peakRSS())
+	}
+
+	// Phase 3: replay the measured bucket structure on the EMR
+	// simulator with the out-of-core disk model (paper Table 3 shape,
+	// 64 nodes). Only the bucket sizes matter to the cost model.
+	part := &lsh.Partition{}
+	for _, b := range res.Buckets {
+		part.Buckets = append(part.Buckets, lsh.Bucket{
+			Signature: b.Signature, Indices: make([]int, b.Size),
+		})
+	}
+	for _, plane := range []struct {
+		name     string
+		compress bool
+	}{{"scale/emr-sim", false}, {"scale/emr-sim-comp", true}} {
+		fcfg := core.Config{Seed: 1, SpillBytes: spill, EmbedDim: 64, EmbedCutoff: 2048,
+			Compression: plane.compress}
+		if fcfg.K == 0 {
+			fcfg.K = analytic.CategoryLaw(n)
+		}
+		flow := core.BuildFlowSharded(part, fcfg, n, dims, 0)
+		c, err := emr.NewCluster(64)
+		if err != nil {
+			return err
+		}
+		frep, err := c.RunJobFlow(flow)
+		if err != nil {
+			return err
+		}
+		simNs := int64(frep.TotalTime * 1e9)
+		rep.Results = append(rep.Results, Result{
+			Name: plane.name, NsPerOp: simNs, N: int64(n),
+			DiskBytes: frep.TotalDiskBytes,
+		})
+		fmt.Printf("%-24s %12d ns  disk=%dB\n", plane.name, simNs, frep.TotalDiskBytes)
+	}
+	return nil
+}
+
+// runShardedTCP clusters the shard directory over a fresh spill-enabled
+// 2-worker TCP cluster and returns the wall time and result.
+func runShardedTCP(dir string, cfg core.Config) (int64, *core.Result, error) {
 	m, err := mapreduce.NewMaster("127.0.0.1:0", 2)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	defer func() { _ = m.Close() }()
 	var wg sync.WaitGroup
@@ -101,61 +177,21 @@ func benchScale(rep *Report, n int, dir string, spill int64) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for m.ConnectedWorkers() < 2 {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("dascbench: scale workers did not join")
+			return 0, nil, fmt.Errorf("dascbench: scale workers did not join")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	start = time.Now()
+	start := time.Now()
 	res, err := core.ClusterMapReduceSharded(dir, cfg, m)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	wall := time.Since(start).Nanoseconds()
 	if err := m.Close(); err != nil {
-		return err
+		return 0, nil, err
 	}
 	wg.Wait()
-	recall := sampledPairRecall(labels, res.Labels, 500_000)
-	rep.Results = append(rep.Results, Result{
-		Name: "scale/sharded-tcp", NsPerOp: wall, N: int64(n), Acc: recall,
-		ShuffleBytes:   res.MapReduce.ShuffleBytes,
-		SpillBytes:     res.MapReduce.SpillBytes,
-		ShardReadBytes: res.MapReduce.ShardReadBytes,
-		PeakRSSBytes:   peakRSS(),
-	})
-	fmt.Printf("%-24s %12d ns  clusters=%d buckets=%d spill=%dB shard-read=%dB recall=%.3f rss=%dB\n",
-		"scale/sharded-tcp", wall, res.Clusters, len(res.Buckets),
-		res.MapReduce.SpillBytes, res.MapReduce.ShardReadBytes, recall, peakRSS())
-
-	// Phase 3: replay the measured bucket structure on the EMR
-	// simulator with the out-of-core disk model (paper Table 3 shape,
-	// 64 nodes). Only the bucket sizes matter to the cost model.
-	part := &lsh.Partition{}
-	for _, b := range res.Buckets {
-		part.Buckets = append(part.Buckets, lsh.Bucket{
-			Signature: b.Signature, Indices: make([]int, b.Size),
-		})
-	}
-	fcfg := cfg
-	if fcfg.K == 0 {
-		fcfg.K = analytic.CategoryLaw(n)
-	}
-	flow := core.BuildFlowSharded(part, fcfg, n, dims, 0)
-	c, err := emr.NewCluster(64)
-	if err != nil {
-		return err
-	}
-	frep, err := c.RunJobFlow(flow)
-	if err != nil {
-		return err
-	}
-	simNs := int64(frep.TotalTime * 1e9)
-	rep.Results = append(rep.Results, Result{
-		Name: "scale/emr-sim", NsPerOp: simNs, N: int64(n),
-		DiskBytes: frep.TotalDiskBytes,
-	})
-	fmt.Printf("%-24s %12d ns  disk=%dB\n", "scale/emr-sim", simNs, frep.TotalDiskBytes)
-	return nil
+	return wall, res, nil
 }
 
 // sampledPairRecall samples `pairs` random point pairs and returns the

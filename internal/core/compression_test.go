@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// TestCompressionLabelIdentityAcrossDrivers is the PR's central
+// contract: Config.Compression changes bytes moved and CPU spent in the
+// codec, never labels. Every driver, at every spill budget, must
+// reproduce the uncompressed in-memory labels bit for bit.
+func TestCompressionLabelIdentityAcrossDrivers(t *testing.T) {
+	l := mixture(t, 240, 10, 3, 0.03, 51)
+	base, err := Cluster(l.Points, Config{K: 3, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := writeShardDir(t, l.Points, 64)
+
+	check := func(name string, res *Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range base.Labels {
+			if res.Labels[i] != base.Labels[i] {
+				t.Fatalf("%s: label[%d] = %d, uncompressed %d", name, i, res.Labels[i], base.Labels[i])
+			}
+		}
+	}
+
+	for _, spill := range []int64{1, 64, 1 << 20} {
+		cfg := Config{K: 3, Seed: 52, Compression: true, SpillBytes: spill}
+
+		mr, err := ClusterMapReduce(l.Points, cfg, &mapreduce.Local{}, fmt.Sprintf("comp-closure-%d", spill))
+		check(fmt.Sprintf("closure/local spill=%d", spill), mr, err)
+
+		sh, err := ClusterMapReduceShipped(l.Points, cfg, &mapreduce.Local{})
+		check(fmt.Sprintf("shipped/local spill=%d", spill), sh, err)
+
+		scfg := cfg
+		scfg.FitSample = 240
+		shd, err := ClusterMapReduceSharded(dir, scfg, &mapreduce.Local{})
+		check(fmt.Sprintf("sharded/local spill=%d", spill), shd, err)
+		if shd.MapReduce == nil || shd.MapReduce.ShardReadBytes == 0 {
+			t.Fatalf("sharded spill=%d: shard read accounting missing", spill)
+		}
+		if shd.MapReduce.ShardReadOps == 0 {
+			t.Fatalf("sharded spill=%d: no shard read ops recorded", spill)
+		}
+	}
+
+	// And with compression off everything must still match — the flag's
+	// zero value is the prior release's exact data plane.
+	off, err := ClusterMapReduceShipped(l.Points, Config{K: 3, Seed: 52}, &mapreduce.Local{})
+	check("shipped/local compression=off", off, err)
+}
+
+// TestCompressionLabelIdentityOverTCP repeats the identity over real
+// sockets, where Compression additionally deflates wire frames in both
+// directions.
+func TestCompressionLabelIdentityOverTCP(t *testing.T) {
+	l := mixture(t, 200, 10, 3, 0.03, 61)
+	base, err := Cluster(l.Points, Config{K: 3, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := mapreduce.NewMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mapreduce.RunWorker(m.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.ConnectedWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not join")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cfg := Config{K: 3, Seed: 62, Compression: true, SpillBytes: 64}
+	res, err := ClusterMapReduceShipped(l.Points, cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Labels {
+		if res.Labels[i] != base.Labels[i] {
+			t.Fatalf("label[%d] = %d, uncompressed %d", i, res.Labels[i], base.Labels[i])
+		}
+	}
+	if res.MapReduce == nil || res.MapReduce.SpillBytes == 0 {
+		t.Fatal("expected spill counters over TCP")
+	}
+	m.Close()
+	wg.Wait()
+}
+
+// TestCompressionEmbedShippedIdentity covers the packed embed-bucket
+// record ('e'): same labels as the raw 'E' record, strictly fewer
+// shipped bytes.
+func TestCompressionEmbedShippedIdentity(t *testing.T) {
+	l := mixture(t, 300, 10, 3, 0.03, 17)
+	cfg := Config{K: 3, Seed: 5, EmbedDim: 16, EmbedCutoff: 40}
+
+	off, err := ClusterMapReduceShipped(l.Points, cfg, &mapreduce.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := cfg
+	on.Compression = true
+	res, err := ClusterMapReduceShipped(l.Points, on, &mapreduce.Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range off.Labels {
+		if res.Labels[i] != off.Labels[i] {
+			t.Fatalf("label[%d] = %d, uncompressed %d", i, res.Labels[i], off.Labels[i])
+		}
+	}
+	if off.MapReduce == nil || res.MapReduce == nil {
+		t.Fatal("missing MapReduce counters")
+	}
+	if off.MapReduce.EmbedBytes == 0 {
+		t.Skip("no buckets embedded at this size; nothing to compare")
+	}
+	if res.MapReduce.EmbedBytes >= off.MapReduce.EmbedBytes {
+		t.Fatalf("packed embed records %d bytes >= raw %d bytes",
+			res.MapReduce.EmbedBytes, off.MapReduce.EmbedBytes)
+	}
+}
+
+// TestPackedIndicesCodec pins the compact stage-2 index record: exact
+// round trip (sorted and unsorted), off-mode bytes identical to the
+// legacy encoding, and malformed inputs rejected.
+func TestPackedIndicesCodec(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{5, 6, 7, 8},
+		{100000, 3, 99, 2_000_000_000},
+		{7, 7, 7},
+	}
+	for ci, idx := range cases {
+		packed := encodeIndicesConf(idx, true)
+		got, err := decodeIndicesConf(packed, true)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if len(got) != len(idx) {
+			t.Fatalf("case %d: %d indices back, want %d", ci, len(got), len(idx))
+		}
+		for i := range idx {
+			if got[i] != idx[i] {
+				t.Fatalf("case %d: index %d = %d, want %d", ci, i, got[i], idx[i])
+			}
+		}
+	}
+
+	// Sorted runs — the common bucket shape — must shrink vs 4 bytes/index.
+	sorted := make([]int, 500)
+	for i := range sorted {
+		sorted[i] = 1000 + i
+	}
+	if p, l := encodeIndicesConf(sorted, true), encodeIndicesConf(sorted, false); len(p) >= len(l) {
+		t.Fatalf("packed sorted indices %d bytes >= legacy %d", len(p), len(l))
+	}
+
+	legacy := encodeIndices([]int{1, 2, 3})
+	if conf := encodeIndicesConf([]int{1, 2, 3}, false); string(conf) != string(legacy) {
+		t.Fatal("off-mode index encoding diverged from legacy bytes")
+	}
+
+	for name, buf := range map[string][]byte{
+		"trailing garbage": append(encodeIndicesConf([]int{1, 2}, true), 0),
+		"count lies":       {200},
+		"empty varint":     {0x80},
+	} {
+		if _, err := decodeIndicesConf(buf, true); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestPackedStatsCodec pins the 'S' stats record: round trip, the
+// ≥13-byte floor that keeps it disjoint from 12-byte labels, and
+// off-mode bytes identical to legacy.
+func TestPackedStatsCodec(t *testing.T) {
+	s := BucketSolution{NNZ: 12345, Fill: 0.625, SolveNanos: 1 << 40, GramBytes: 9999, Solver: "dense"}
+	rec := encodeBucketStatsConf(s, true)
+	if len(rec) < 13 {
+		t.Fatalf("packed stats record only %d bytes — can collide with labels", len(rec))
+	}
+	var got BucketSolution
+	if err := decodePackedBucketStats(rec, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ != s.NNZ || got.Fill != s.Fill || got.SolveNanos != s.SolveNanos ||
+		got.GramBytes != s.GramBytes || got.Solver != s.Solver {
+		t.Fatalf("round trip %+v != %+v", got, s)
+	}
+
+	// Zero-valued stats with an empty solver is the smallest record; it
+	// must still clear 12 bytes.
+	if min := encodeBucketStatsConf(BucketSolution{}, true); len(min) <= 12 {
+		t.Fatalf("minimal packed stats record is %d bytes", len(min))
+	}
+
+	if off := encodeBucketStatsConf(s, false); string(off) != string(encodeBucketStats(s)) {
+		t.Fatal("off-mode stats encoding diverged from legacy bytes")
+	}
+
+	for name, buf := range map[string][]byte{
+		"empty":      {},
+		"wrong kind": {'X', 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1},
+		"bad ver":    {'S', 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1},
+		"truncated":  encodeBucketStatsConf(s, true)[:6],
+	} {
+		var tmp BucketSolution
+		if err := decodePackedBucketStats(buf, &tmp); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

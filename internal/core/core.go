@@ -119,6 +119,15 @@ type Config struct {
 	// the shuffle merges from disk. 0 (the default) keeps the shuffle
 	// fully in memory; labels are bit-identical at any setting.
 	SpillBytes int64
+	// Compression turns on the lossless compressed data plane for the
+	// MapReduce drivers: jobs run with mapreduce.Job.Compress (deflated
+	// spill runs and, on wire v3 TCP links, deflated frames), stage-2
+	// bucket index lists and solver-stats records use compact varint
+	// encodings, and the shipped embed path ships packed ('e') embedded
+	// records. Labels are bit-identical with it on or off — only bytes
+	// moved and CPU spent in the codec change. Off by default, which
+	// keeps every byte stream identical to prior releases.
+	Compression bool
 	// FitSample is the number of evenly spaced rows the sharded driver
 	// reads to fit its plan (LSH thresholds, kernel bandwidth) without
 	// loading the full matrix; 0 uses DefaultFitSample. FitSample >= N

@@ -68,9 +68,41 @@ const EMRDiskBandwidth = 50 << 20
 // two uvarint length prefixes), matching the spill run-file framing.
 const spillRecordBytes = 25
 
+// EMRCodecBandwidth is the simulated single-core flate throughput in
+// bytes per second (measured against raw bytes pushed through the
+// codec at flate.BestSpeed on 2012-era hardware). With
+// Config.Compression on, flow builders bill raw/EMRCodecBandwidth of
+// CPU per compression or decompression pass.
+const EMRCodecBandwidth = 200 << 20
+
+// EMRSpillCompressionRatio is the modeled compressed/raw size ratio of
+// deflated spill runs. Stage-1 records are signature-keyed and highly
+// repetitive, so BestSpeed lands well under half size; 0.4 matches the
+// measured BENCH ratios conservatively.
+const EMRSpillCompressionRatio = 0.4
+
 // diskSeconds converts modeled disk traffic into task-cost seconds.
 func diskSeconds(bytes int64) float64 {
 	return float64(bytes) / float64(EMRDiskBandwidth)
+}
+
+// codecSeconds converts raw bytes pushed through the flate codec into
+// task-cost seconds (one pass; callers bill compress and decompress
+// separately).
+func codecSeconds(rawBytes int64) float64 {
+	return float64(rawBytes) / float64(EMRCodecBandwidth)
+}
+
+// spillDiskAndCodec models one spill write + merge re-read of raw
+// framed bytes under the configured data plane: with compression the
+// disk moves the deflated bytes both ways and the CPU pays one deflate
+// plus one inflate pass over the raw size.
+func spillDiskAndCodec(raw int64, compressed bool) (disk int64, codec float64) {
+	if !compressed {
+		return 2 * raw, 0
+	}
+	written := int64(float64(raw) * EMRSpillCompressionRatio)
+	return 2 * written, 2 * codecSeconds(raw)
 }
 
 // BuildFlow constructs the job flow from an existing partition. Costs
@@ -141,14 +173,18 @@ func buildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64, shard
 			disk += int64(size) * int64(dims) * 8
 			mem = int64(dims)*8 + int64(size)*int64(tables)*spillRecordBytes
 		}
+		var codec float64
 		if cfg.SpillBytes > 0 {
 			// Out-of-core shuffle: every record is written to a spill run
-			// and re-read by the k-way merge.
-			disk += 2 * int64(size) * int64(tables) * spillRecordBytes
+			// and re-read by the k-way merge — deflated on disk, at one
+			// flate pass each way, when the compressed plane is on.
+			sdisk, scodec := spillDiskAndCodec(int64(size)*int64(tables)*spillRecordBytes, cfg.Compression)
+			disk += sdisk
+			codec += scodec
 		}
 		lshTasks = append(lshTasks, emr.Task{
 			Name:        fmt.Sprintf("lsh-split-%d", start/splitSize),
-			Cost:        mapCost + diskSeconds(disk),
+			Cost:        mapCost + diskSeconds(disk) + codec,
 			MemoryBytes: mem,
 			DiskBytes:   disk,
 		})
@@ -171,15 +207,18 @@ func buildFlow(part *lsh.Partition, cfg Config, n, dims int, beta float64, shard
 			disk += int64(ni) * int64(dims) * 8
 			mem += int64(ni) * int64(dims) * 8
 		}
+		var codec float64
 		if cfg.SpillBytes > 0 {
 			// Stage-2 shuffle spill: the bucket's index record (4·Ni plus
 			// the 16-byte signature key and framing) is written and merged
-			// back from disk.
-			disk += 2 * (4*int64(ni) + 20)
+			// back from disk, deflated when the compressed plane is on.
+			sdisk, scodec := spillDiskAndCodec(4*int64(ni)+20, cfg.Compression)
+			disk += sdisk
+			codec += scodec
 		}
 		clusterTasks = append(clusterTasks, emr.Task{
 			Name:        fmt.Sprintf("bucket-%x", b.Signature),
-			Cost:        cost + diskSeconds(disk),
+			Cost:        cost + diskSeconds(disk) + codec,
 			MemoryBytes: mem,
 			DiskBytes:   disk,
 		})

@@ -63,6 +63,7 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signatu
 	}
 	lshJob := LSHJob(r.prefix, p.Points, hashers)
 	lshJob.SpillBytes = p.Cfg.SpillBytes
+	lshJob.Compress = p.Cfg.Compression
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i)}
@@ -78,11 +79,12 @@ func (r *mapReduceRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signatu
 func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition) ([]BucketSolution, error) {
 	clusterJob := ClusterJob(r.prefix, p.Points, p.Cfg, p.Sigma, p.Embedder)
 	clusterJob.SpillBytes = p.Cfg.SpillBytes
+	clusterJob.Compress = p.Cfg.Compression
 	stage2Input := make([]mapreduce.Pair, len(part.Buckets))
 	for bi, b := range part.Buckets {
 		stage2Input[bi] = mapreduce.Pair{
 			Key:   fmt.Sprintf("%016x", b.Signature),
-			Value: encodeIndices(b.Indices),
+			Value: encodeIndicesConf(b.Indices, p.Cfg.Compression),
 		}
 	}
 	labelPairs, ctr, err := mapreduce.RunWithContext(ctx, r.exec, clusterJob, stage2Input)
@@ -90,7 +92,7 @@ func (r *mapReduceRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partitio
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
 	r.ctr.Add(ctr)
-	return solutionsFromLabelPairs(part, labelPairs, p.Points.Rows())
+	return solutionsFromLabelPairs(part, labelPairs, p.Points.Rows(), p.Cfg.Compression)
 }
 
 // encodeSigKey formats a stage-1 record key as "<table>:<signature>"
@@ -140,12 +142,15 @@ func signaturesFromPairs(sigPairs []mapreduce.Pair, n, tables int) (*lsh.Signatu
 // solutionsFromLabelPairs converts stage-2 output records back into
 // per-bucket solutions aligned with the partition — the inverse of the
 // reducers' emission, shared by both MapReduce runners. Two record
-// kinds share the stream, distinguished by length: 12-byte per-point
-// (pointIndex, localLabel, k) triples and the longer per-bucket solver
-// stats records, both keyed by the bucket signature. The shared
-// assembly path then offsets the solutions exactly like every other
-// runner's.
-func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int) ([]BucketSolution, error) {
+// kinds share the stream, both keyed by the bucket signature: 12-byte
+// per-point (pointIndex, localLabel, k) triples and the per-bucket
+// solver stats records. In legacy mode (packed false) stats are the
+// fixed 32-byte-plus-solver layout and the kinds are length-
+// distinguished; in packed mode stats carry the 'S' marker and are at
+// least 13 bytes by construction, so a 12-byte record is always a
+// label. The shared assembly path then offsets the solutions exactly
+// like every other runner's.
+func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int, packed bool) ([]BucketSolution, error) {
 	type slot struct{ bucket, pos int }
 	where := make(map[int]slot, n)
 	sigOf := make(map[uint64]int, len(part.Buckets))
@@ -157,8 +162,14 @@ func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int)
 			where[idx] = slot{bi, pi}
 		}
 	}
+	isStats := func(v []byte) bool {
+		if packed {
+			return len(v) != 12 && len(v) > 0 && v[0] == packedStatsKind
+		}
+		return len(v) >= bucketStatsLen
+	}
 	for _, p := range pairs {
-		if len(p.Value) >= bucketStatsLen {
+		if isStats(p.Value) {
 			sig, err := strconv.ParseUint(p.Key, 16, 64)
 			if err != nil {
 				return nil, fmt.Errorf("core: bad stats key %q: %w", p.Key, err)
@@ -167,7 +178,13 @@ func solutionsFromLabelPairs(part *lsh.Partition, pairs []mapreduce.Pair, n int)
 			if !ok {
 				return nil, fmt.Errorf("core: stats for unknown bucket %x", sig)
 			}
-			decodeBucketStats(p.Value, &sols[bi])
+			if packed {
+				if err := decodePackedBucketStats(p.Value, &sols[bi]); err != nil {
+					return nil, err
+				}
+			} else {
+				decodeBucketStats(p.Value, &sols[bi])
+			}
 			continue
 		}
 		if len(p.Value) != 12 {
@@ -210,6 +227,60 @@ func decodeBucketStats(buf []byte, s *BucketSolution) {
 	s.SolveNanos = int64(binary.LittleEndian.Uint64(buf[16:]))
 	s.GramBytes = int64(binary.LittleEndian.Uint64(buf[24:]))
 	s.Solver = string(buf[bucketStatsLen:])
+}
+
+// packedStatsKind opens a compact stats record in Compression mode:
+// 'S', a zero version byte, uvarint NNZ, 8-byte LE Fill bits, uvarint
+// SolveNanos, uvarint GramBytes, then the solver name. The two fixed
+// leading bytes plus the 8-byte float keep every packed stats record
+// at least 13 bytes, so it can never collide with a 12-byte label.
+const packedStatsKind = 'S'
+
+// encodeBucketStatsConf packs a solution's solver accounting in the
+// legacy fixed layout, or the compact varint layout when the job runs
+// with Config.Compression.
+func encodeBucketStatsConf(s BucketSolution, packed bool) []byte {
+	if !packed {
+		return encodeBucketStats(s)
+	}
+	buf := make([]byte, 0, 2+3*binary.MaxVarintLen64+8+len(s.Solver))
+	buf = append(buf, packedStatsKind, 0)
+	buf = binary.AppendUvarint(buf, uint64(s.NNZ))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Fill))
+	buf = binary.AppendUvarint(buf, uint64(s.SolveNanos))
+	buf = binary.AppendUvarint(buf, uint64(s.GramBytes))
+	return append(buf, s.Solver...)
+}
+
+// decodePackedBucketStats is the inverse of the packed arm of
+// encodeBucketStatsConf.
+func decodePackedBucketStats(buf []byte, s *BucketSolution) error {
+	if len(buf) < 2 || buf[0] != packedStatsKind || buf[1] != 0 {
+		return fmt.Errorf("core: bad packed stats record")
+	}
+	rest := buf[2:]
+	nnz, n := binary.Uvarint(rest)
+	if n <= 0 || len(rest[n:]) < 8 {
+		return fmt.Errorf("core: truncated packed stats record")
+	}
+	rest = rest[n:]
+	fill := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	rest = rest[8:]
+	nanos, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("core: truncated packed stats record")
+	}
+	rest = rest[n:]
+	gram, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("core: truncated packed stats record")
+	}
+	s.NNZ = int64(nnz)
+	s.Fill = fill
+	s.SolveNanos = int64(nanos)
+	s.GramBytes = int64(gram)
+	s.Solver = string(rest[n:])
+	return nil
 }
 
 // LSHJob builds the stage-1 MapReduce job (Algorithm 1, extended to the
@@ -271,7 +342,7 @@ func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64, 
 			// per-invocation; it is still reused across this key's values.
 			var scratch []float64
 			for _, v := range values {
-				indices, err := decodeIndices(v)
+				indices, err := decodeIndicesConf(v, cfg.Compression)
 				if err != nil {
 					return err
 				}
@@ -282,7 +353,7 @@ func ClusterJob(prefix string, points *matrix.Dense, cfg Config, sigma float64, 
 				for pi, idx := range indices {
 					emit(key, encodeLabel(idx, sol.Labels[pi], sol.K))
 				}
-				emit(key, encodeBucketStats(sol))
+				emit(key, encodeBucketStatsConf(sol, cfg.Compression))
 			}
 			return nil
 		},
@@ -311,6 +382,60 @@ func decodeIndices(buf []byte) ([]int, error) {
 			return nil, fmt.Errorf("core: index %d overflows", v)
 		}
 		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// encodeIndicesConf packs a bucket index list in the legacy 4-byte-LE
+// layout, or — when the job runs with Config.Compression — as a
+// uvarint count followed by zigzag-varint deltas. Bucket index lists
+// are sorted ascending, so the deltas are small positive integers and
+// the record shrinks toward one byte per point.
+func encodeIndicesConf(indices []int, packed bool) []byte {
+	if !packed {
+		return encodeIndices(indices)
+	}
+	buf := binary.AppendUvarint(make([]byte, 0, 1+2*len(indices)), uint64(len(indices)))
+	prev := 0
+	for _, idx := range indices {
+		buf = binary.AppendVarint(buf, int64(idx-prev))
+		prev = idx
+	}
+	return buf
+}
+
+// decodeIndicesConf is the inverse of encodeIndicesConf. Every decoded
+// index must fit int32 and be non-negative, mirroring decodeIndices.
+func decodeIndicesConf(buf []byte, packed bool) ([]int, error) {
+	if !packed {
+		return decodeIndices(buf)
+	}
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: bad packed index count")
+	}
+	rest := buf[n:]
+	// Each delta occupies at least one byte, so the declared count bounds
+	// the allocation before it happens.
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("core: packed index count %d exceeds payload %d", count, len(rest))
+	}
+	out := make([]int, count)
+	prev := int64(0)
+	for i := range out {
+		d, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: truncated packed index list")
+		}
+		rest = rest[n:]
+		prev += d
+		if prev < 0 || prev > math.MaxInt32 {
+			return nil, fmt.Errorf("core: packed index %d out of range", prev)
+		}
+		out[i] = int(prev)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after packed index list", len(rest))
 	}
 	return out, nil
 }

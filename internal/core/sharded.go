@@ -44,6 +44,9 @@ const (
 func init() {
 	mapreduce.RegisterFactory(ShardedLSHJobName, newShardedLSHJob)
 	mapreduce.RegisterFactory(ShardedClusterJobName, newShardedClusterJob)
+	// Workers ship this process-cumulative meter back on TCP results so
+	// a master in another process can account our shard reads.
+	mapreduce.SetShardMeter(workerShardBytes)
 }
 
 // shardedLSHConf is the stage-1 configuration: the shard directory and
@@ -97,6 +100,19 @@ func workerShardBytes() int64 {
 		return true
 	})
 	return total
+}
+
+// workerShardIOStats additionally sums the ReadAt-call and
+// coalesced-read counters across the reader cache.
+func workerShardIOStats() (bytes, ops, coalesced int64) {
+	shardReaders.Range(func(_, v interface{}) bool {
+		r := v.(*shard.Reader)
+		bytes += r.BytesRead()
+		ops += r.ReadOps()
+		coalesced += r.CoalescedReads()
+		return true
+	})
+	return bytes, ops, coalesced
 }
 
 // encodeRowRange / decodeRowRange pack a stage-1 input record: one
@@ -215,7 +231,7 @@ func newShardedClusterJob(conf []byte) (*mapreduce.Job, error) {
 			}
 			var scratch []float64
 			for _, v := range values {
-				indices, err := decodeIndices(v)
+				indices, err := decodeIndicesConf(v, c.Compression)
 				if err != nil {
 					return err
 				}
@@ -230,7 +246,7 @@ func newShardedClusterJob(conf []byte) (*mapreduce.Job, error) {
 				for pos, idx := range indices {
 					emit(key, encodeLabel(idx, sol.Labels[pos], sol.K))
 				}
-				emit(key, encodeBucketStats(sol))
+				emit(key, encodeBucketStatsConf(sol, c.Compression))
 			}
 			return nil
 		},
@@ -239,12 +255,12 @@ func newShardedClusterJob(conf []byte) (*mapreduce.Job, error) {
 
 // hydrateBucket demand-reads one bucket's rows into a dense ni×d
 // block — the only rows of the matrix this reduce task ever touches.
+// Bucket index lists are sorted ascending, so the coalescing gather
+// turns a bucket that lands inside one shard into a few large reads.
 func hydrateBucket(r *shard.Reader, indices []int) (*matrix.Dense, error) {
 	pts := matrix.NewDense(len(indices), r.Cols())
-	for pos, idx := range indices {
-		if _, err := r.ReadRow(idx, pts.Row(pos)); err != nil {
-			return nil, err
-		}
+	if err := r.ReadRowsInto(indices, pts.Row); err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -332,11 +348,12 @@ func readFitSample(r *shard.Reader, fitSample int) (*matrix.Dense, error) {
 		m = n
 	}
 	sample := matrix.NewDense(m, r.Cols())
+	indices := make([]int, m)
 	for i := 0; i < m; i++ {
-		idx := i * n / m // evenly spaced; identity i==idx when m == n
-		if _, err := r.ReadRow(idx, sample.Row(i)); err != nil {
-			return nil, err
-		}
+		indices[i] = i * n / m // evenly spaced; identity i==idx when m == n
+	}
+	if err := r.ReadRowsInto(indices, sample.Row); err != nil {
+		return nil, err
 	}
 	return sample, nil
 }
@@ -359,7 +376,7 @@ func ClusterMapReduceSharded(dir string, cfg Config, exec mapreduce.Executor) (*
 // cancellation.
 func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config, exec mapreduce.Executor) (_ *Result, err error) {
 	start := time.Now()
-	startShardBytes := workerShardBytes()
+	startShardBytes, startShardOps, startShardCoalesced := workerShardIOStats()
 	// The driver uses the same process-wide cached reader as in-process
 	// workers: one set of handles per directory, shared by the fit
 	// sample, probe reads, and every local reduce task.
@@ -415,6 +432,7 @@ func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config,
 	lshJob.Name = ShardedLSHJobName
 	lshJob.Conf = lshBlob
 	lshJob.SpillBytes = cfg.SpillBytes
+	lshJob.Compress = cfg.Compression
 	ranges := reader.Ranges()
 	input := make([]mapreduce.Pair, len(ranges))
 	for i, rg := range ranges {
@@ -454,6 +472,7 @@ func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config,
 		N: n, K: cfg.K, Sigma: sigma, Seed: cfg.Seed,
 		SparseCutoff: cfg.SparseCutoff, Epsilon: cfg.Epsilon,
 		EmbedDim: cfg.EmbedDim, EmbedCutoff: cfg.EmbedCutoff,
+		Compression: cfg.Compression,
 	}})
 	if err != nil {
 		return nil, err
@@ -465,11 +484,12 @@ func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config,
 	clusterJob.Name = ShardedClusterJobName
 	clusterJob.Conf = clusterBlob
 	clusterJob.SpillBytes = cfg.SpillBytes
+	clusterJob.Compress = cfg.Compression
 	stage2 := make([]mapreduce.Pair, len(part.Buckets))
 	for bi, b := range part.Buckets {
 		stage2[bi] = mapreduce.Pair{
 			Key:   fmt.Sprintf("%016x", b.Signature),
-			Value: encodeIndices(b.Indices),
+			Value: encodeIndicesConf(b.Indices, cfg.Compression),
 		}
 	}
 	labelPairs, cctr, err := mapreduce.RunWithContext(ctx, exec, clusterJob, stage2)
@@ -477,7 +497,7 @@ func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config,
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
 	ctr.Add(cctr)
-	sols, err := solutionsFromLabelPairs(part, labelPairs, n)
+	sols, err := solutionsFromLabelPairs(part, labelPairs, n, cfg.Compression)
 	if err != nil {
 		return nil, err
 	}
@@ -490,9 +510,13 @@ func ClusterMapReduceShardedContext(ctx context.Context, dir string, cfg Config,
 	res.MergeRadius = radius
 	res.Elapsed = time.Since(start)
 	// Process-local shard-read accounting: exact when the executor's
-	// workers share this process, silent about reads by external worker
-	// processes (see mapreduce.Counters.ShardReadBytes).
-	ctr.ShardReadBytes += workerShardBytes() - startShardBytes
+	// workers share this process; external TCP worker processes report
+	// their byte meter on result frames, which the master already folded
+	// into the stage counters (see mapreduce.Counters.ShardReadBytes).
+	endShardBytes, endShardOps, endShardCoalesced := workerShardIOStats()
+	ctr.ShardReadBytes += endShardBytes - startShardBytes
+	ctr.ShardReadOps += endShardOps - startShardOps
+	ctr.ShardCoalescedReads += endShardCoalesced - startShardCoalesced
 	res.MapReduce = ctr
 	return res, nil
 }

@@ -68,6 +68,12 @@ type clusterConf struct {
 	Epsilon      float64
 	EmbedDim     int
 	EmbedCutoff  int
+	// Compression mirrors Config.Compression: stage-2 index lists,
+	// solver-stats records, and embedded bucket records use their
+	// compact encodings, selected by this flag on both sides (never
+	// sniffed from the bytes). gob omits the zero value, so conf blobs
+	// with it off are byte-identical to prior releases.
+	Compression bool
 }
 
 // bucketPayload is one stage-2 record: a bucket's points shipped by
@@ -173,7 +179,7 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 						return fmt.Errorf("empty stage-2 record")
 					}
 					switch v[0] {
-					case mapreduce.EmbedBucketKind:
+					case mapreduce.EmbedBucketKind, mapreduce.PackedEmbedBucketKind:
 						sol, indices, err := clusterEmbeddedShippedBucket(v, c)
 						if err != nil {
 							return err
@@ -181,7 +187,7 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 						for pos, idx := range indices {
 							emit(key, encodeLabel(int(idx), sol.Labels[pos], sol.K))
 						}
-						emit(key, encodeBucketStats(sol))
+						emit(key, encodeBucketStatsConf(sol, c.Compression))
 						continue
 					case mapreduce.RawBucketKind:
 						if err := gobDecode(v[1:], &payload); err != nil {
@@ -209,7 +215,7 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 				for pos, idx := range payload.Indices {
 					emit(key, encodeLabel(int(idx), sol.Labels[pos], sol.K))
 				}
-				emit(key, encodeBucketStats(sol))
+				emit(key, encodeBucketStatsConf(sol, c.Compression))
 			}
 			return nil
 		},
@@ -222,7 +228,7 @@ func newShippedClusterJob(conf []byte) (*mapreduce.Job, error) {
 // path does. The feature map never travels — only its output — so the
 // worker needs no kernel, no Gram scratch, and no eigensolver.
 func clusterEmbeddedShippedBucket(record []byte, c clusterConf) (BucketSolution, []int32, error) {
-	indices, dim, rows, err := mapreduce.ParseEmbedBucket(record)
+	indices, dim, rows, err := mapreduce.ParseAnyEmbedBucket(record)
 	if err != nil {
 		return BucketSolution{}, nil, err
 	}
@@ -369,6 +375,7 @@ func (r *shippedRunner) Signatures(ctx context.Context, p *Plan) (*lsh.Signature
 	lshJob.Name = ShippedLSHJobName
 	lshJob.Conf = lshBlob
 	lshJob.SpillBytes = p.Cfg.SpillBytes
+	lshJob.Compress = p.Cfg.Compression
 	input := make([]mapreduce.Pair, n)
 	for i := 0; i < n; i++ {
 		input[i] = mapreduce.Pair{Key: strconv.Itoa(i), Value: encodeVector(p.Points.Row(i))}
@@ -387,6 +394,7 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 		N: n, K: p.Cfg.K, Sigma: p.Sigma, Seed: p.Cfg.Seed,
 		SparseCutoff: p.Cfg.SparseCutoff, Epsilon: p.Cfg.Epsilon,
 		EmbedDim: p.Cfg.EmbedDim, EmbedCutoff: p.Cfg.EmbedCutoff,
+		Compression: p.Cfg.Compression,
 	})
 	if err != nil {
 		return nil, err
@@ -398,6 +406,7 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 	clusterJob.Name = ShippedClusterJobName
 	clusterJob.Conf = clusterBlob
 	clusterJob.SpillBytes = p.Cfg.SpillBytes
+	clusterJob.Compress = p.Cfg.Compression
 	stage2 := make([]mapreduce.Pair, len(part.Buckets))
 	d := p.Points.Cols()
 	embedOn := p.Cfg.EmbedDim > 0 && p.Embedder != nil
@@ -438,7 +447,7 @@ func (r *shippedRunner) Solve(ctx context.Context, p *Plan, part *lsh.Partition)
 		return nil, fmt.Errorf("core: cluster stage: %w", err)
 	}
 	r.ctr.Add(ctr)
-	return solutionsFromLabelPairs(part, labelPairs, n)
+	return solutionsFromLabelPairs(part, labelPairs, n, p.Cfg.Compression)
 }
 
 // encodeEmbeddedBucket runs the map-side half of the embedded solve:
@@ -464,7 +473,13 @@ func (r *shippedRunner) encodeEmbeddedBucket(p *Plan, indices []int, scratch *[]
 	for i, v := range indices {
 		idx32[i] = int32(v)
 	}
-	rec := mapreduce.AppendEmbedBucket(make([]byte, 0, 1+2*binary.MaxVarintLen64+ni*(4+8*dim)), idx32, dim, rows)
+	dst := make([]byte, 0, 1+2*binary.MaxVarintLen64+ni*(4+8*dim))
+	var rec []byte
+	if p.Cfg.Compression {
+		rec = mapreduce.AppendPackedEmbedBucket(dst, idx32, dim, rows)
+	} else {
+		rec = mapreduce.AppendEmbedBucket(dst, idx32, dim, rows)
+	}
 	r.ctr.EmbedBytes += int64(len(rec))
 	return rec, nil
 }

@@ -43,7 +43,7 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pai
 
 	var ss *spillSet
 	if job.SpillBytes > 0 {
-		ss = newSpillSet(numReducers, job.SpillBytes)
+		ss = newSpillSet(numReducers, job.SpillBytes, job.Compress)
 		defer func() { err = errors.Join(err, ss.Close()) }()
 	}
 
@@ -164,7 +164,9 @@ func (l *Local) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pai
 		}
 		wg.Wait()
 		ctr.ShuffleBytes = shuffleBytes.Load()
-		ctr.SpillBytes, ctr.SpillNanos = ss.stats()
+		var raw int64
+		ctr.SpillBytes, raw, ctr.SpillNanos = ss.stats()
+		ctr.CompressedBytes = raw - ctr.SpillBytes
 	} else {
 		// Shuffle: k-way merge each reduce partition's sorted runs, in map
 		// task order so ties reproduce the stable concat+sort order. The

@@ -54,6 +54,13 @@ type Job struct {
 	// shuffle merges from disk (see spill.go). 0 keeps the shuffle fully
 	// in memory. Output is bit-identical at any setting.
 	SpillBytes int64
+	// Compress turns on the lossless data-plane compression paths for
+	// this job: spill runs are deflated on flush (and inflated inside
+	// the merge's RunReaders), and TCP frames at wire v3 compress
+	// bodies above CompressThreshold in both directions. Off by
+	// default; output is bit-identical either way, only the bytes
+	// moved change.
+	Compress bool
 	// Conf is an opaque configuration blob for factory-built jobs: it
 	// travels with every TCP task so worker processes can rebuild the
 	// job via their RegisterFactory entry (see factory.go). Jobs without
@@ -99,12 +106,27 @@ type Counters struct {
 	SpillBytes int64
 	SpillNanos int64
 	// ShardReadBytes counts bytes demand-read from input shard files by
-	// sharded jobs (see internal/shard). The counter is process-local:
-	// executors whose workers run in this process (Local, or TCP workers
-	// started in-process) report it exactly; shard reads performed by
-	// separate worker OS processes are invisible to the master and are
-	// not counted.
+	// sharded jobs (see internal/shard). Workers in this process (Local,
+	// or TCP workers started in-process) are metered directly by the
+	// sharded driver; external TCP worker processes ship their meter
+	// back on result messages (wire v3 or gob — see SetShardMeter) and
+	// the master folds the de-duplicated per-process spans in here.
+	// v2-framed external workers cannot carry the meter and stay
+	// invisible.
 	ShardReadBytes int64
+	// ShardReadOps / ShardCoalescedReads count the ReadAt calls issued
+	// against shard files and how many of those served more than one
+	// row (the read-coalescing and streaming-readahead paths). Process-
+	// local, like the in-process part of ShardReadBytes.
+	ShardReadOps        int64
+	ShardCoalescedReads int64
+	// CompressedBytes is how many bytes Job.Compress removed from the
+	// data plane: raw-minus-encoded summed over compressed wire frames
+	// (both directions, master side) and spill runs. CompressNanos is
+	// the master-side wall time inside the wire codec's flate passes;
+	// spill-side flate time is part of SpillNanos.
+	CompressedBytes int64
+	CompressNanos   int64
 }
 
 // Add accumulates o into c field-wise, for drivers that chain several
@@ -128,6 +150,10 @@ func (c *Counters) Add(o *Counters) {
 	c.SpillBytes += o.SpillBytes
 	c.SpillNanos += o.SpillNanos
 	c.ShardReadBytes += o.ShardReadBytes
+	c.ShardReadOps += o.ShardReadOps
+	c.ShardCoalescedReads += o.ShardCoalescedReads
+	c.CompressedBytes += o.CompressedBytes
+	c.CompressNanos += o.CompressNanos
 }
 
 // Executor runs jobs.

@@ -24,6 +24,7 @@ package mapreduce
 
 import (
 	"bufio"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -81,13 +82,20 @@ func pairDiskBytes(p Pair) int64 {
 // its own buffered view of the shared partition file (io.SectionReader
 // wraps ReadAt, so concurrent fileRuns never disturb each other); a
 // clean io.EOF on the leading uvarint is the end of the segment, while
-// a truncated record surfaces as io.ErrUnexpectedEOF.
+// a truncated record surfaces as io.ErrUnexpectedEOF. Packed segments
+// interpose a flate reader, so record framing past it is identical.
 type fileRun struct {
 	br *bufio.Reader
+	zc io.Closer // the flate reader of a packed segment, else nil
 }
 
 func newFileRun(f *os.File, off, length int64) *fileRun {
 	return &fileRun{br: bufio.NewReaderSize(io.NewSectionReader(f, off, length), 32*1024)}
+}
+
+func newPackedFileRun(f *os.File, off, length int64) *fileRun {
+	zr := flate.NewReader(bufio.NewReaderSize(io.NewSectionReader(f, off, length), 32*1024))
+	return &fileRun{br: bufio.NewReaderSize(zr, 32*1024), zc: zr}
 }
 
 func (r *fileRun) Next() (Pair, error) {
@@ -119,7 +127,12 @@ func (r *fileRun) Next() (Pair, error) {
 	return Pair{Key: string(key), Value: val}, nil
 }
 
-func (r *fileRun) Close() error { return nil } // the spillSet owns the file
+func (r *fileRun) Close() error { // the spillSet owns the file
+	if r.zc != nil {
+		return r.zc.Close()
+	}
+	return nil
+}
 
 // noEOF upgrades a bare io.EOF inside a record to ErrUnexpectedEOF so
 // it cannot be mistaken for a clean end of run.
@@ -136,10 +149,12 @@ type memRun struct {
 	pairs []Pair
 }
 
-// segment is one spilled run inside a partition's spill file.
+// segment is one spilled run inside a partition's spill file. n is the
+// segment's on-disk length — the deflated length when packed.
 type segment struct {
 	seq    int
 	off, n int64
+	packed bool
 }
 
 // spillPartition is one reduce partition's spill state: at most one
@@ -159,18 +174,24 @@ type spillPartition struct {
 // from per-connection reader goroutines); reads happen after seal.
 type spillSet struct {
 	budget int64
+	// compress deflates each run on flush (one flate stream per
+	// segment). The budget, flush points, segment seqs, and therefore
+	// the merge's tie-break order are all accounted in raw framed bytes
+	// and do not change — only the file bytes do.
+	compress bool
 
 	mu       sync.Mutex
 	dir      string // created lazily on first flush
 	parts    []spillPartition
 	buffered int64 // framed bytes of all in-memory runs
 
-	spillBytes int64
-	spillNanos int64
+	spillBytes    int64 // bytes written to spill files (deflated when compress)
+	spillRawBytes int64 // framed record bytes before compression
+	spillNanos    int64
 }
 
-func newSpillSet(numPartitions int, budget int64) *spillSet {
-	return &spillSet{budget: budget, parts: make([]spillPartition, numPartitions)}
+func newSpillSet(numPartitions int, budget int64, compress bool) *spillSet {
+	return &spillSet{budget: budget, compress: compress, parts: make([]spillPartition, numPartitions)}
 }
 
 // add registers one map task's per-partition sorted runs under its task
@@ -223,17 +244,15 @@ func (s *spillSet) flushLocked() error {
 			sp.w = bufio.NewWriterSize(f, 256*1024)
 		}
 		for _, run := range sp.mem {
-			var n int64
-			for _, kv := range run.pairs {
-				buf = appendRunRecord(buf[:0], kv)
-				if _, err := sp.w.Write(buf); err != nil {
-					return fmt.Errorf("mapreduce: spill write: %w", err)
-				}
-				n += int64(len(buf))
+			n, raw, nbuf, err := s.writeRun(sp, run.pairs, buf)
+			if err != nil {
+				return err
 			}
-			sp.segs = append(sp.segs, segment{seq: run.seq, off: sp.off, n: n})
+			buf = nbuf
+			sp.segs = append(sp.segs, segment{seq: run.seq, off: sp.off, n: n, packed: s.compress})
 			sp.off += n
 			s.spillBytes += n
+			s.spillRawBytes += raw
 		}
 		sp.mem = nil
 		if err := sp.w.Flush(); err != nil {
@@ -243,6 +262,53 @@ func (s *spillSet) flushLocked() error {
 	s.buffered = 0
 	s.spillNanos += time.Since(start).Nanoseconds()
 	return nil
+}
+
+// writeRun writes one run's framed records to sp's spill file —
+// straight through, or via a per-segment flate stream when compress is
+// on — returning the segment's on-disk and raw framed lengths plus the
+// (possibly grown) scratch buffer. Called with s.mu held.
+func (s *spillSet) writeRun(sp *spillPartition, pairs []Pair, buf []byte) (n, raw int64, scratch []byte, err error) {
+	if !s.compress {
+		for _, kv := range pairs {
+			buf = appendRunRecord(buf[:0], kv)
+			if _, err := sp.w.Write(buf); err != nil {
+				return 0, 0, buf, fmt.Errorf("mapreduce: spill write: %w", err)
+			}
+			n += int64(len(buf))
+		}
+		return n, n, buf, nil
+	}
+	cw := &meteredWriter{w: sp.w}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(cw)
+	for _, kv := range pairs {
+		buf = appendRunRecord(buf[:0], kv)
+		if _, err := fw.Write(buf); err != nil {
+			flateWriterPool.Put(fw)
+			return 0, 0, buf, fmt.Errorf("mapreduce: spill write: %w", err)
+		}
+		raw += int64(len(buf))
+	}
+	err = fw.Close()
+	flateWriterPool.Put(fw)
+	if err != nil {
+		return 0, 0, buf, fmt.Errorf("mapreduce: spill deflate: %w", err)
+	}
+	return cw.n, raw, buf, nil
+}
+
+// meteredWriter counts bytes passed through to w — the deflated length
+// of a packed segment as flate flushes it.
+type meteredWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (m *meteredWriter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.n += int64(n)
+	return n, err
 }
 
 // seal flushes pending file buffers so readers see complete segments.
@@ -274,7 +340,11 @@ func (s *spillSet) partitionRuns(p int) []RunReader {
 	}
 	runs := make([]seqRun, 0, len(sp.segs)+len(sp.mem))
 	for _, seg := range sp.segs {
-		runs = append(runs, seqRun{seg.seq, newFileRun(sp.f, seg.off, seg.n)})
+		if seg.packed {
+			runs = append(runs, seqRun{seg.seq, newPackedFileRun(sp.f, seg.off, seg.n)})
+		} else {
+			runs = append(runs, seqRun{seg.seq, newFileRun(sp.f, seg.off, seg.n)})
+		}
 	}
 	for _, m := range sp.mem {
 		runs = append(runs, seqRun{m.seq, SliceRun(m.pairs)})
@@ -307,12 +377,13 @@ func (s *spillSet) materialize(p int) ([]Pair, error) {
 	return out, nil
 }
 
-// stats reports the bytes written to spill files and the wall time
+// stats reports the bytes written to spill files (deflated when the
+// job compresses), the raw framed bytes they encode, and the wall time
 // spent writing them.
-func (s *spillSet) stats() (spillBytes, spillNanos int64) {
+func (s *spillSet) stats() (spillBytes, spillRawBytes, spillNanos int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.spillBytes, s.spillNanos
+	return s.spillBytes, s.spillRawBytes, s.spillNanos
 }
 
 // Close closes every spill file and removes the spill directory. Safe

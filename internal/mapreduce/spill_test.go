@@ -83,7 +83,7 @@ func TestMergeRunsEdgeCasesSlices(t *testing.T) {
 // returns the file-backed readers, exercising the real on-disk framing.
 func spillRuns(t *testing.T, runs [][]Pair) (*spillSet, []RunReader) {
 	t.Helper()
-	ss := newSpillSet(1, 1) // 1-byte budget: every add flushes
+	ss := newSpillSet(1, 1, false) // 1-byte budget: every add flushes
 	for seq, run := range runs {
 		parts := [][]Pair{run}
 		if err := ss.add(seq, parts); err != nil {
@@ -145,7 +145,7 @@ func TestPropFileBackedMergeEqualsInMemory(t *testing.T) {
 // not arrival order — the TCP master's results land from concurrent
 // reader goroutines in arbitrary order.
 func TestSpillSetOutOfOrderSeqs(t *testing.T) {
-	ss := newSpillSet(1, 1)
+	ss := newSpillSet(1, 1, false)
 	defer func() {
 		if err := ss.Close(); err != nil {
 			t.Fatalf("close: %v", err)
@@ -178,7 +178,7 @@ func TestSpillSetOutOfOrderSeqs(t *testing.T) {
 // memory while others spill, and checks the mixed merge still follows
 // seq order.
 func TestSpillSetMixedMemoryAndDisk(t *testing.T) {
-	ss := newSpillSet(1, 1<<20) // large budget: nothing flushes on its own
+	ss := newSpillSet(1, 1<<20, false) // large budget: nothing flushes on its own
 	defer func() {
 		if err := ss.Close(); err != nil {
 			t.Fatalf("close: %v", err)
@@ -199,7 +199,7 @@ func TestSpillSetMixedMemoryAndDisk(t *testing.T) {
 	if err := ss.seal(); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := ss.stats(); got == 0 {
+	if got, _, _ := ss.stats(); got == 0 {
 		t.Fatal("expected spilled bytes")
 	}
 	got, err := ss.materialize(0)

@@ -56,6 +56,12 @@ type taskMsg struct {
 	NumReducers int
 	Records     []Pair
 
+	// Flags carries per-job wire options (taskFlag* bits, e.g. "compress
+	// your result frames"). Zero for jobs without options, which keeps
+	// gob streams and v2/v3 frame bytes identical to releases that
+	// predate the field.
+	Flags uint64
+
 	// load lazily materializes Records just before the task is encoded
 	// (nil for eagerly-built tasks). The spill-enabled master hands out
 	// reduce partitions this way so that only the in-flight window's
@@ -72,6 +78,15 @@ type resultMsg struct {
 	// or a single key-sorted slice of reduce output at index 0.
 	Parts [][]Pair
 	Err   string
+
+	// Shard meter snapshot (see SetShardMeter): the worker's
+	// process-cumulative shard bytes read before (ShardStart) and after
+	// (ShardEnd) this task, tagged with the worker's process token.
+	// Populated only when the worker has read shard bytes at all, so
+	// shard-free jobs keep their wire bytes identical to prior releases.
+	ShardTok   uint64
+	ShardStart int64
+	ShardEnd   int64
 }
 
 // Default tuning for the TCP executor. A hung or partitioned peer must
@@ -114,8 +129,9 @@ type TCPConfig struct {
 	// (DefaultMaxInFlight) overlaps encode, compute, and decode.
 	MaxInFlight int
 	// MaxWireVersion caps the framing the hello may negotiate:
-	// WireVersionGob forces the legacy gob stream, 0 or
-	// WireVersionFrames (the default) allows binary frames.
+	// WireVersionGob forces the legacy gob stream, WireVersionFrames
+	// pins the uncompressed v2 frames, 0 or WireVersionPacked (the
+	// default) also allows v3's optional frame compression.
 	MaxWireVersion int
 }
 
@@ -301,6 +317,16 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 	workers := m.workers()
 	numReducers := job.numReducers()
 	ctr := &Counters{InputRecords: len(input), ReduceTasks: numReducers}
+	// Frame compression is per-job: arm every connection's codec for
+	// task frames out, and tell workers (taskFlagCompress) to compress
+	// result frames back. v1/v2 peers ignore both.
+	var taskFlags uint64
+	if job.Compress {
+		taskFlags |= taskFlagCompress
+	}
+	for _, w := range workers {
+		w.cdc.setCompress(job.Compress)
+	}
 	wireBefore := sumWireStats(workers)
 
 	// ---- map phase ----
@@ -313,7 +339,7 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 	var sink func(*resultMsg) error
 	sunkOutputs := 0
 	if job.SpillBytes > 0 {
-		ss = newSpillSet(numReducers, job.SpillBytes)
+		ss = newSpillSet(numReducers, job.SpillBytes, job.Compress)
 		defer func() { err = errors.Join(err, ss.Close()) }()
 		sink = func(res *resultMsg) error {
 			if len(res.Parts) > numReducers {
@@ -329,7 +355,7 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 	ctr.MapTasks = len(mapTasks)
 	msgs := make([]taskMsg, len(mapTasks))
 	for i, t := range mapTasks {
-		msgs[i] = taskMsg{Seq: i, JobName: job.Name, Phase: "map", Conf: job.Conf, NumReducers: numReducers, Records: t}
+		msgs[i] = taskMsg{Seq: i, JobName: job.Name, Phase: "map", Conf: job.Conf, NumReducers: numReducers, Records: t, Flags: taskFlags}
 	}
 	mapResults, err := m.dispatch(ctx, workers, msgs, sink)
 	if err != nil {
@@ -348,7 +374,7 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 		}
 		for p := 0; p < numReducers; p++ {
 			p := p
-			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf,
+			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Flags: taskFlags,
 				load: func() ([]Pair, error) { return ss.materialize(p) }})
 		}
 	} else {
@@ -379,7 +405,7 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 		}
 		shuffleWG.Wait()
 		for p := 0; p < numReducers; p++ {
-			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p]})
+			rmsgs = append(rmsgs, taskMsg{Seq: p, JobName: job.Name, Phase: "reduce", Conf: job.Conf, Records: partitions[p], Flags: taskFlags})
 		}
 	}
 
@@ -404,15 +430,54 @@ func (m *Master) RunContext(ctx context.Context, job *Job, input []Pair) (_ []Pa
 	ctr.WireBytesIn = wireAfter.bytesIn - wireBefore.bytesIn
 	ctr.EncodeNanos = wireAfter.encodeNanos - wireBefore.encodeNanos
 	ctr.DecodeNanos = wireAfter.decodeNanos - wireBefore.decodeNanos
+	ctr.CompressedBytes = wireAfter.compressSaved - wireBefore.compressSaved
+	ctr.CompressNanos = wireAfter.compressNanos - wireBefore.compressNanos
 	if ss != nil {
-		ctr.SpillBytes, ctr.SpillNanos = ss.stats()
+		var raw int64
+		ctr.SpillBytes, raw, ctr.SpillNanos = ss.stats()
+		ctr.CompressedBytes += raw - ctr.SpillBytes
 	}
+	ctr.ShardReadBytes += foreignShardBytes(mapResults, redResults)
 	return out, ctr, nil
+}
+
+// foreignShardBytes folds the shard meters external workers shipped on
+// their results into one byte count. Each worker process reports its
+// cumulative meter around every task; per foreign token the span
+// max(end)-min(start) over the whole job is that process's reads while
+// it worked for us. Reports stamped with this process's own token are
+// skipped — those workers share the driver's meter, which the sharded
+// driver reads directly.
+func foreignShardBytes(phases ...[]resultMsg) int64 {
+	spans := make(map[uint64][2]int64)
+	for _, results := range phases {
+		for _, res := range results {
+			if res.ShardTok == 0 || res.ShardTok == processToken {
+				continue
+			}
+			span, seen := spans[res.ShardTok]
+			if !seen {
+				span = [2]int64{res.ShardStart, res.ShardEnd}
+			} else {
+				span[0] = min(span[0], res.ShardStart)
+				span[1] = max(span[1], res.ShardEnd)
+			}
+			spans[res.ShardTok] = span
+		}
+	}
+	var total int64
+	for _, span := range spans {
+		if span[1] > span[0] {
+			total += span[1] - span[0]
+		}
+	}
+	return total
 }
 
 // wireSnapshot is a point-in-time sum of per-connection wireStats.
 type wireSnapshot struct {
 	bytesOut, bytesIn, encodeNanos, decodeNanos int64
+	compressSaved, compressNanos                int64
 }
 
 func sumWireStats(workers []*workerConn) wireSnapshot {
@@ -422,6 +487,8 @@ func sumWireStats(workers []*workerConn) wireSnapshot {
 		s.bytesIn += w.st.bytesIn.Load()
 		s.encodeNanos += w.st.encodeNanos.Load()
 		s.decodeNanos += w.st.decodeNanos.Load()
+		s.compressSaved += w.st.compressSaved.Load()
+		s.compressNanos += w.st.compressNanos.Load()
 	}
 	return s
 }
@@ -765,6 +832,11 @@ func RunWorkerContext(ctx context.Context, addr string) (err error) {
 		if ctx.Err() != nil {
 			continue // drain without computing; the ctx error is returned below
 		}
+		// Mirror the job's compression choice onto result frames. The
+		// codec flag is atomic: the encoder goroutine may be mid-write
+		// for an earlier task, and any v3 peer decodes 'C' frames
+		// whether or not it asked for them.
+		cdc.setCompress(task.Flags&taskFlagCompress != 0)
 		results <- executeTask(task)
 	}
 	close(results)
@@ -779,9 +851,20 @@ func RunWorkerContext(ctx context.Context, addr string) (err error) {
 }
 
 // executeTask runs one map or reduce task against the local registry
-// (or factory, for closure-free jobs).
-func executeTask(task taskMsg) resultMsg {
-	res := resultMsg{Seq: task.Seq}
+// (or factory, for closure-free jobs). The registered shard meter is
+// sampled around the task; a nonzero end stamps the result with this
+// process's meter span so a master in another process can account the
+// reads (see SetShardMeter).
+func executeTask(task taskMsg) (res resultMsg) {
+	res = resultMsg{Seq: task.Seq}
+	meterStart := shardMeterNow()
+	defer func() {
+		if end := shardMeterNow(); end > 0 {
+			res.ShardTok = workerShardToken
+			res.ShardStart = meterStart
+			res.ShardEnd = end
+		}
+	}()
 	job, err := resolveJob(task.JobName, task.Conf)
 	if err != nil {
 		res.Err = err.Error()

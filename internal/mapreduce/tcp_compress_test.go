@@ -1,0 +1,128 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTCPForeignShardReadsFoldIntoCounters simulates external TCP
+// workers demand-reading shard files: each in-process worker advances a
+// fake shard meter while mapping, stamps its results with a token that
+// is NOT the driver's, and the master must fold the foreign span into
+// Counters.ShardReadBytes.
+func TestTCPForeignShardReadsFoldIntoCounters(t *testing.T) {
+	var meter atomic.Int64
+	meter.Store(1000) // nonzero baseline: attribution must use the span, not the raw value
+	prevTok := workerShardToken
+	workerShardToken = processToken ^ 0xdeadbeef // pose as a foreign process
+	SetShardMeter(func() int64 { return meter.Load() })
+	defer func() {
+		workerShardToken = prevTok
+		SetShardMeter(func() int64 { return 0 })
+	}()
+
+	job := &Job{
+		Name: "tcp-shard-meter",
+		Map: func(key string, value []byte, emit Emit) error {
+			meter.Add(10) // 10 modeled shard bytes per record
+			emit(key, value)
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			for _, v := range values {
+				emit(key, v)
+			}
+			return nil
+		},
+		NumReducers: 2,
+		SplitSize:   4, // several map tasks spread across both workers
+	}
+	Register(job)
+	m, stop := startCluster(t, 2)
+	defer stop()
+
+	input := make([]Pair, 20)
+	for i := range input {
+		input[i] = Pair{Key: fmt.Sprintf("k%02d", i), Value: []byte("v")}
+	}
+	out, ctr, err := m.Run(job, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(input) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(input))
+	}
+	if want := int64(len(input) * 10); ctr.ShardReadBytes != want {
+		t.Fatalf("ShardReadBytes = %d, want %d", ctr.ShardReadBytes, want)
+	}
+}
+
+// TestTCPCompressedShuffleMatchesPlain runs the same job over real TCP
+// with the compressed data plane on and off: outputs must be identical
+// and the compressed run must report real wire savings in Counters.
+func TestTCPCompressedShuffleMatchesPlain(t *testing.T) {
+	input := make([]Pair, 64)
+	for i := range input {
+		input[i] = Pair{
+			Key:   fmt.Sprintf("split-%02d", i),
+			Value: bytes.Repeat([]byte("lsh signature payload "), 40),
+		}
+	}
+	run := func(name string, compress bool) ([]Pair, *Counters) {
+		job := &Job{
+			Name: name,
+			Map: func(key string, value []byte, emit Emit) error {
+				// Fan the record out so result frames clear CompressThreshold.
+				for part := 0; part < 4; part++ {
+					emit(fmt.Sprintf("%s/%d", key, part), value)
+				}
+				return nil
+			},
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				var n int
+				for _, v := range values {
+					n += len(v)
+				}
+				emit(key, []byte(fmt.Sprintf("%d", n)))
+				return nil
+			},
+			NumReducers: 3,
+			SplitSize:   8,
+			Compress:    compress,
+		}
+		Register(job)
+		m, stop := startCluster(t, 2)
+		defer stop()
+		out, ctr, err := m.Run(job, input)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out, ctr
+	}
+
+	plainOut, plainCtr := run("tcp-shuffle-plain", false)
+	compOut, compCtr := run("tcp-shuffle-comp", true)
+
+	if len(plainOut) != len(compOut) {
+		t.Fatalf("output lengths differ: %d vs %d", len(plainOut), len(compOut))
+	}
+	for i := range plainOut {
+		if plainOut[i].Key != compOut[i].Key || !bytes.Equal(plainOut[i].Value, compOut[i].Value) {
+			t.Fatalf("record %d differs: %v vs %v", i, plainOut[i], compOut[i])
+		}
+	}
+	if plainCtr.CompressedBytes != 0 {
+		t.Fatalf("plain run claims %d compressed bytes", plainCtr.CompressedBytes)
+	}
+	if compCtr.CompressedBytes <= 0 {
+		t.Fatalf("compressed run saved %d bytes, want > 0", compCtr.CompressedBytes)
+	}
+	if compCtr.CompressNanos <= 0 {
+		t.Fatal("compressed run billed no codec time")
+	}
+	if compCtr.WireBytesOut >= plainCtr.WireBytesOut {
+		t.Fatalf("compressed wire out %d >= plain %d", compCtr.WireBytesOut, plainCtr.WireBytesOut)
+	}
+}

@@ -26,9 +26,34 @@ package mapreduce
 // key strings). Both codecs account bytes and serialization wall time
 // into per-connection wireStats, which the master aggregates into
 // Counters.WireBytes* / *Nanos.
+//
+//	version 3 (packed): version 2's exact frame layouts plus three
+//	                    optional frame kinds, emitted only when the
+//	                    payload calls for them — a v3 stream that never
+//	                    needs one is byte-identical to v2:
+//
+//	    'C' compressed  = uvarint rawLen │ flate(inner body incl. kind)
+//	                      Wraps any frame whose body reaches
+//	                      CompressThreshold while the job has
+//	                      Compress on. rawLen is validated against
+//	                      maxFrameBody before any allocation, the
+//	                      inflated size must match it exactly, and a
+//	                      'C' inside a 'C' is rejected.
+//	    't' task+flags  = uvarint Flags │ v2 task fields
+//	                      Flags bit 0 tells the worker to compress its
+//	                      result frames back.
+//	    'r' result+IO   = uvarint ShardTok │ uvarint ShardStart │
+//	                      uvarint ShardEnd │ v2 result fields
+//	                      Carries the worker's process-cumulative shard
+//	                      read meter so external workers' shard bytes
+//	                      reach the master's Counters (the master
+//	                      de-duplicates by process token).
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
+	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -36,6 +61,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,9 +74,22 @@ const (
 	WireVersionGob = 1
 	// WireVersionFrames is the length-prefixed binary frame codec.
 	WireVersionFrames = 2
+	// WireVersionPacked adds optional per-frame flate compression and
+	// the task-flags / result-IO frame variants on top of the v2
+	// framing. Streams that use none of them stay byte-identical to v2.
+	WireVersionPacked = 3
 	// WireVersionLatest is the highest version this build speaks.
-	WireVersionLatest = WireVersionFrames
+	WireVersionLatest = WireVersionPacked
 )
+
+// CompressThreshold is the smallest frame body the codec will try to
+// compress; smaller frames ship raw since flate's header and the codec
+// CPU cost more than they save.
+const CompressThreshold = 4096
+
+// taskFlagCompress asks the worker to compress its result frames back
+// to the master (taskMsg.Flags bit 0).
+const taskFlagCompress = 1
 
 // wireMagic opens every hello; a peer that does not present it is not
 // a DASC worker and is disconnected during the handshake.
@@ -65,18 +104,23 @@ const maxFrameBody = 1 << 30
 
 // frame body kinds.
 const (
-	frameTask   = 'T'
-	frameResult = 'R'
+	frameTask       = 'T'
+	frameResult     = 'R'
+	frameTaskFlags  = 't' // v3: task with a leading Flags uvarint
+	frameResultIO   = 'r' // v3: result with leading shard-meter fields
+	frameCompressed = 'C' // v3: flate-wrapped inner frame
 )
 
 // wireStats accumulates one connection's traffic. All fields are
 // atomics: the pipelined master reads and writes a socket from
 // different goroutines, and counter snapshots race with live traffic.
 type wireStats struct {
-	bytesOut    atomic.Int64
-	bytesIn     atomic.Int64
-	encodeNanos atomic.Int64
-	decodeNanos atomic.Int64
+	bytesOut      atomic.Int64
+	bytesIn       atomic.Int64
+	encodeNanos   atomic.Int64
+	decodeNanos   atomic.Int64
+	compressSaved atomic.Int64 // raw-minus-wire bytes removed by 'C' frames
+	compressNanos atomic.Int64 // wall time inside flate, both directions
 }
 
 // codec reads and writes task/result messages on one connection. Every
@@ -88,6 +132,9 @@ type codec interface {
 	readTask(t *taskMsg) (int, error)
 	writeResult(r *resultMsg) (int, error)
 	readResult(r *resultMsg) (int, error)
+	// setCompress turns outbound frame compression on or off. A no-op
+	// on codecs that cannot compress (gob, frame versions < 3).
+	setCompress(on bool)
 }
 
 // newCodec builds the codec for a negotiated version.
@@ -95,10 +142,52 @@ func newCodec(conn net.Conn, version byte, st *wireStats) (codec, error) {
 	switch version {
 	case WireVersionGob:
 		return newGobCodec(conn, st), nil
-	case WireVersionFrames:
-		return newFrameCodec(conn, st), nil
+	case WireVersionFrames, WireVersionPacked:
+		return newFrameCodec(conn, version, st), nil
 	}
 	return nil, fmt.Errorf("mapreduce: unsupported wire version %d", version)
+}
+
+// ---- worker shard metering (satellite: external workers' shard reads) ----
+
+// shardMeterFn reports a process-cumulative count of shard bytes read;
+// internal/core registers its shard-reader meter here so workers can
+// ship the delta back to the master without mapreduce importing shard.
+var shardMeterFn atomic.Pointer[func() int64]
+
+// SetShardMeter registers the process-wide shard read meter sampled
+// around every task a TCP worker executes. The sampled start/end pair
+// travels on result messages (gob and wire v3) so a master in another
+// process can fold external workers' shard reads into
+// Counters.ShardReadBytes.
+func SetShardMeter(f func() int64) {
+	shardMeterFn.Store(&f)
+}
+
+func shardMeterNow() int64 {
+	if f := shardMeterFn.Load(); f != nil {
+		return (*f)()
+	}
+	return 0
+}
+
+// processToken identifies this process in result-message shard meters.
+// The master skips reports carrying its own token: in-process workers
+// share the driver's meter, which the sharded driver already reads
+// directly, so folding their reports in would double-count.
+var processToken = newProcessToken()
+
+// workerShardToken is the token workers stamp on results — normally
+// processToken; tests split the two to exercise the external-worker
+// aggregation path inside one process.
+var workerShardToken = processToken
+
+func newProcessToken() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(os.Getpid())<<1 | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
 }
 
 // sendHello performs the worker side of the handshake: greet with our
@@ -217,6 +306,7 @@ func (c *gobCodec) writeTask(t *taskMsg) (int, error)     { return c.encode(t) }
 func (c *gobCodec) readTask(t *taskMsg) (int, error)      { return c.decode(t) }
 func (c *gobCodec) writeResult(r *resultMsg) (int, error) { return c.encode(r) }
 func (c *gobCodec) readResult(r *resultMsg) (int, error)  { return c.decode(r) }
+func (c *gobCodec) setCompress(bool)                      {}
 
 // ---- version 2: length-prefixed binary frames ----
 
@@ -228,22 +318,58 @@ var encBufPool = sync.Pool{
 	New: func() any { return &encBuf{b: make([]byte, 0, 4096)} },
 }
 
-// frameCodec is wire version 2.
+// frameCodec is wire versions 2 and 3; version selects which frame
+// kinds writeTask/writeResult may emit. compress is flipped per job by
+// setCompress (atomically: the pipelined worker reads tasks and writes
+// results from different goroutines) and only honored at version >= 3.
 type frameCodec struct {
-	w  io.Writer
-	br *bufio.Reader
-	st *wireStats
+	w        io.Writer
+	br       *bufio.Reader
+	st       *wireStats
+	version  byte
+	compress atomic.Bool
 }
 
-func newFrameCodec(conn net.Conn, st *wireStats) *frameCodec {
-	return &frameCodec{w: conn, br: bufio.NewReaderSize(conn, 1<<16), st: st}
+func newFrameCodec(conn net.Conn, version byte, st *wireStats) *frameCodec {
+	return &frameCodec{w: conn, br: bufio.NewReaderSize(conn, 1<<16), st: st, version: version}
+}
+
+func (c *frameCodec) setCompress(on bool) { c.compress.Store(on) }
+
+// flateWriterPool / flateReaderPool reuse codec state across frames and
+// spill runs; a flate.Writer alone is ~600KB of window and tables.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			// flate.NewWriter only fails on an invalid level; BestSpeed
+			// is valid by construction.
+			panic(err) //lint:ignore panicfree invalid-level is impossible for flate.BestSpeed
+		}
+		return fw
+	},
+}
+
+var flateReaderPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// sliceWriter adapts an append target to io.Writer for flate.
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
 }
 
 // hdrReserve leaves room at the buffer front for the length prefix.
 const hdrReserve = binary.MaxVarintLen64
 
 // sendFrame serializes body (appended by fill after the kind byte),
-// prefixes its length, and writes the frame with a single Write.
+// prefixes its length, and writes the frame with a single Write. At
+// wire v3 with compression enabled, bodies at or above
+// CompressThreshold are deflated into a 'C' wrapper frame when that
+// actually shrinks them.
 func (c *frameCodec) sendFrame(kind byte, fill func(b []byte) []byte) (int, error) {
 	eb := encBufPool.Get().(*encBuf)
 	start := time.Now()
@@ -251,11 +377,18 @@ func (c *frameCodec) sendFrame(kind byte, fill func(b []byte) []byte) (int, erro
 	b = append(b, kind)
 	b = fill(b)
 	bodyLen := len(b) - hdrReserve
+	c.st.encodeNanos.Add(time.Since(start).Nanoseconds())
+	if c.version >= WireVersionPacked && c.compress.Load() && bodyLen >= CompressThreshold {
+		if n, err, ok := c.sendCompressed(b[hdrReserve:]); ok {
+			eb.b = b
+			encBufPool.Put(eb)
+			return n, err
+		}
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(bodyLen))
 	frameStart := hdrReserve - n
 	copy(b[frameStart:hdrReserve], tmp[:n])
-	c.st.encodeNanos.Add(time.Since(start).Nanoseconds())
 	nw, err := c.w.Write(b[frameStart:])
 	c.st.bytesOut.Add(int64(nw))
 	eb.b = b
@@ -263,9 +396,50 @@ func (c *frameCodec) sendFrame(kind byte, fill func(b []byte) []byte) (int, erro
 	return n + bodyLen, err
 }
 
+// sendCompressed writes raw (a full frame body including its kind byte)
+// as a 'C' wrapper frame. ok is false when deflate failed to shrink the
+// body, in which case nothing was written and the caller ships it raw.
+func (c *frameCodec) sendCompressed(raw []byte) (int, error, bool) {
+	cb := encBufPool.Get().(*encBuf)
+	start := time.Now()
+	sw := &sliceWriter{b: append(cb.b[:0], make([]byte, hdrReserve)...)}
+	sw.b = append(sw.b, frameCompressed)
+	sw.b = binary.AppendUvarint(sw.b, uint64(len(raw)))
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(sw)
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriterPool.Put(fw)
+	c.st.compressNanos.Add(time.Since(start).Nanoseconds())
+	if werr != nil || cerr != nil {
+		cb.b = sw.b
+		encBufPool.Put(cb)
+		return 0, errors.Join(werr, cerr), true
+	}
+	bodyLen := len(sw.b) - hdrReserve
+	if bodyLen >= len(raw) {
+		cb.b = sw.b
+		encBufPool.Put(cb)
+		return 0, nil, false
+	}
+	b := sw.b
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(bodyLen))
+	frameStart := hdrReserve - n
+	copy(b[frameStart:hdrReserve], tmp[:n])
+	nw, err := c.w.Write(b[frameStart:])
+	c.st.bytesOut.Add(int64(nw))
+	c.st.compressSaved.Add(int64(len(raw) - bodyLen))
+	cb.b = b
+	encBufPool.Put(cb)
+	return n + bodyLen, err, true
+}
+
 // recvFrame reads one frame and returns its kind, body, and total wire
-// size. The body is freshly allocated per frame; decoded records alias
-// it, so it must not be pooled.
+// size. A 'C' wrapper is inflated transparently; kind and body then
+// describe the inner frame while size stays the bytes actually read
+// off the wire. The body is freshly allocated per frame; decoded
+// records alias it, so it must not be pooled.
 func (c *frameCodec) recvFrame() (byte, []byte, int, error) {
 	bodyLen, err := binary.ReadUvarint(c.br)
 	if err != nil {
@@ -274,13 +448,82 @@ func (c *frameCodec) recvFrame() (byte, []byte, int, error) {
 	if bodyLen < 1 || bodyLen > maxFrameBody {
 		return 0, nil, 0, fmt.Errorf("mapreduce: frame body length %d out of range", bodyLen)
 	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(c.br, body); err != nil {
+	body, err := readExactly(c.br, int(bodyLen))
+	if err != nil {
 		return 0, nil, 0, fmt.Errorf("mapreduce: short frame: %w", err)
 	}
 	size := uvarintLen(bodyLen) + int(bodyLen)
 	c.st.bytesIn.Add(int64(size))
+	if body[0] == frameCompressed {
+		inner, err := c.inflateFrame(body[1:])
+		if err != nil {
+			return 0, nil, size, err
+		}
+		return inner[0], inner[1:], size, nil
+	}
 	return body[0], body[1:], size, nil
+}
+
+// inflateFrame decodes a 'C' wrapper payload: uvarint raw length, then
+// the deflated inner frame body. The declared length is validated
+// before any allocation and the stream must inflate to exactly that
+// many bytes — a wrapper that lies about its size, truncates, carries
+// trailing garbage, or nests another wrapper is an error, never a
+// panic or an oversized allocation.
+func (c *frameCodec) inflateFrame(p []byte) ([]byte, error) {
+	rawLen, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, errors.New("mapreduce: compressed frame: bad raw length")
+	}
+	if rawLen < 1 || rawLen > maxFrameBody {
+		return nil, fmt.Errorf("mapreduce: compressed frame raw length %d out of range", rawLen)
+	}
+	start := time.Now()
+	zr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(zr)
+	if err := zr.(flate.Resetter).Reset(bytes.NewReader(p[w:]), nil); err != nil {
+		return nil, err
+	}
+	raw, err := readExactly(zr, int(rawLen))
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: compressed frame: %w", err)
+	}
+	var one [1]byte
+	if n, err := zr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
+		return nil, errors.New("mapreduce: compressed frame longer than declared")
+	}
+	c.st.compressNanos.Add(time.Since(start).Nanoseconds())
+	c.st.compressSaved.Add(int64(rawLen) - int64(len(p)))
+	if raw[0] == frameCompressed {
+		return nil, errors.New("mapreduce: nested compressed frame")
+	}
+	return raw, nil
+}
+
+// readChunk bounds how much readExactly commits to ahead of the bytes
+// actually arriving.
+const readChunk = 64 << 10
+
+// readExactly reads exactly n bytes, growing the buffer chunk by chunk
+// as data arrives: a corrupt or hostile length prefix that promises a
+// gigabyte backed by a short stream fails after at most one chunk of
+// allocation instead of reserving the declared size up front.
+func readExactly(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, readChunk)
+	for len(buf) < n {
+		step := min(n-len(buf), readChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // uvarintLen is the encoded size of v.
@@ -304,7 +547,14 @@ func appendWireString(b []byte, s string) []byte {
 }
 
 func (c *frameCodec) writeTask(t *taskMsg) (int, error) {
-	return c.sendFrame(frameTask, func(b []byte) []byte {
+	kind := byte(frameTask)
+	if c.version >= WireVersionPacked && t.Flags != 0 {
+		kind = frameTaskFlags
+	}
+	return c.sendFrame(kind, func(b []byte) []byte {
+		if kind == frameTaskFlags {
+			b = binary.AppendUvarint(b, t.Flags)
+		}
 		b = binary.AppendUvarint(b, uint64(t.Seq))
 		b = appendWireString(b, t.JobName)
 		b = appendWireString(b, t.Phase)
@@ -315,7 +565,16 @@ func (c *frameCodec) writeTask(t *taskMsg) (int, error) {
 }
 
 func (c *frameCodec) writeResult(r *resultMsg) (int, error) {
-	return c.sendFrame(frameResult, func(b []byte) []byte {
+	kind := byte(frameResult)
+	if c.version >= WireVersionPacked && r.ShardTok != 0 {
+		kind = frameResultIO
+	}
+	return c.sendFrame(kind, func(b []byte) []byte {
+		if kind == frameResultIO {
+			b = binary.AppendUvarint(b, r.ShardTok)
+			b = binary.AppendUvarint(b, uint64(max(r.ShardStart, 0)))
+			b = binary.AppendUvarint(b, uint64(max(r.ShardEnd, 0)))
+		}
 		b = binary.AppendUvarint(b, uint64(r.Seq))
 		b = appendWireString(b, r.Err)
 		b = binary.AppendUvarint(b, uint64(len(r.Parts)))
@@ -340,11 +599,11 @@ func (c *frameCodec) readTask(t *taskMsg) (int, error) {
 	if err != nil {
 		return size, err
 	}
-	if kind != frameTask {
+	if kind != frameTask && kind != frameTaskFlags {
 		return size, fmt.Errorf("mapreduce: expected task frame, got %q", kind)
 	}
 	start := time.Now()
-	err = parseTask(body, t)
+	err = parseTask(body, t, kind == frameTaskFlags)
 	c.st.decodeNanos.Add(time.Since(start).Nanoseconds())
 	return size, err
 }
@@ -354,11 +613,11 @@ func (c *frameCodec) readResult(r *resultMsg) (int, error) {
 	if err != nil {
 		return size, err
 	}
-	if kind != frameResult {
+	if kind != frameResult && kind != frameResultIO {
 		return size, fmt.Errorf("mapreduce: expected result frame, got %q", kind)
 	}
 	start := time.Now()
-	err = parseResult(body, r)
+	err = parseResult(body, r, kind == frameResultIO)
 	c.st.decodeNanos.Add(time.Since(start).Nanoseconds())
 	return size, err
 }
@@ -449,8 +708,12 @@ func (p *parser) done() error {
 	return p.err
 }
 
-func parseTask(body []byte, t *taskMsg) error {
+func parseTask(body []byte, t *taskMsg, withFlags bool) error {
 	p := &parser{b: body}
+	t.Flags = 0
+	if withFlags {
+		t.Flags = p.uvarint("task flags")
+	}
 	t.Seq = p.intField("task seq")
 	t.JobName = p.str("job name")
 	t.Phase = p.str("phase")
@@ -460,8 +723,14 @@ func parseTask(body []byte, t *taskMsg) error {
 	return p.done()
 }
 
-func parseResult(body []byte, r *resultMsg) error {
+func parseResult(body []byte, r *resultMsg, withIO bool) error {
 	p := &parser{b: body}
+	r.ShardTok, r.ShardStart, r.ShardEnd = 0, 0, 0
+	if withIO {
+		r.ShardTok = p.uvarint("shard token")
+		r.ShardStart = int64(p.uvarint("shard meter start"))
+		r.ShardEnd = int64(p.uvarint("shard meter end"))
+	}
 	r.Seq = p.intField("result seq")
 	r.Err = p.str("result error")
 	nParts := p.count("parts")
@@ -494,6 +763,11 @@ const (
 	// RawBucketKind opens a raw bucket payload (a gob blob follows) for
 	// buckets the embed policy declined.
 	RawBucketKind = 'B'
+	// PackedEmbedBucketKind opens the compact form of an embedded
+	// bucket record: row indices as zigzag varint deltas over the
+	// sorted-by-construction index list instead of fixed uint32s.
+	// Emitted only when the job's Compression knob is on.
+	PackedEmbedBucketKind = 'e'
 )
 
 // AppendEmbedBucket appends one embedded bucket record to dst and
@@ -561,28 +835,129 @@ func ParseEmbedBucket(buf []byte) ([]int32, int, []float64, error) {
 	return indices, dim, rows, nil
 }
 
+// AppendPackedEmbedBucket appends the compact embedded-bucket form:
+//
+//	kind 'e' │ uvarint n │ uvarint dim │ n × zigzag-varint index delta │
+//	n·dim × float64 LE embedded rows (row-major)
+//
+// Deltas are taken over the indices as given (bucket indices are sorted
+// ascending, so deltas are small and positive); zigzag keeps any order
+// decodable. Same semantics contract as AppendEmbedBucket.
+func AppendPackedEmbedBucket(dst []byte, indices []int32, dim int, rows []float64) []byte {
+	dst = append(dst, PackedEmbedBucketKind)
+	dst = binary.AppendUvarint(dst, uint64(len(indices)))
+	dst = binary.AppendUvarint(dst, uint64(dim))
+	prev := int64(0)
+	for _, idx := range indices {
+		delta := int64(idx) - prev
+		dst = binary.AppendUvarint(dst, uint64(delta)<<1^uint64(delta>>63))
+		prev = int64(idx)
+	}
+	var b8 [8]byte
+	for _, v := range rows {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+// ParsePackedEmbedBucket decodes a record produced by
+// AppendPackedEmbedBucket with the same hostile-input posture as
+// ParseEmbedBucket: shape is validated before any allocation, every
+// index must round-trip through int32, and the float payload must
+// match the declared shape exactly.
+func ParsePackedEmbedBucket(buf []byte) ([]int32, int, []float64, error) {
+	if len(buf) == 0 || buf[0] != PackedEmbedBucketKind {
+		return nil, 0, nil, errors.New("mapreduce: not a packed embed bucket record")
+	}
+	b := buf[1:]
+	nu, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, nil, errors.New("mapreduce: packed embed record: bad point count")
+	}
+	b = b[w:]
+	du, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, 0, nil, errors.New("mapreduce: packed embed record: bad dimension")
+	}
+	b = b[w:]
+	if nu == 0 || du == 0 || nu > maxFrameBody/4 || du > maxFrameBody/8 {
+		return nil, 0, nil, fmt.Errorf("mapreduce: packed embed record shape %d x %d out of range", nu, du)
+	}
+	n, dim := int(nu), int(du)
+	// Each index delta costs at least one byte, so the record must hold
+	// n delta bytes plus the full float payload; checking against the
+	// actual record length before allocating bounds both slices by the
+	// bytes that really arrived.
+	if need := n + 8*n*dim; len(b) < need || need/n != 1+8*dim {
+		return nil, 0, nil, fmt.Errorf("mapreduce: packed embed record: %d payload bytes for %d x %d", len(b), n, dim)
+	}
+	indices := make([]int32, n)
+	prev := int64(0)
+	for i := range indices {
+		zz, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, 0, nil, errors.New("mapreduce: packed embed record: bad index delta")
+		}
+		b = b[w:]
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		prev += delta
+		if prev < 0 || prev > math.MaxInt32 {
+			return nil, 0, nil, fmt.Errorf("mapreduce: packed embed record: index %d out of range", prev)
+		}
+		indices[i] = int32(prev)
+	}
+	if len(b) != 8*n*dim {
+		return nil, 0, nil, fmt.Errorf("mapreduce: packed embed record: %d float bytes for %d x %d", len(b), n, dim)
+	}
+	rows := make([]float64, n*dim)
+	for i := range rows {
+		rows[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return indices, dim, rows, nil
+}
+
+// ParseAnyEmbedBucket dispatches on the record's kind byte to the raw
+// or packed embed decoder, accepting either framing.
+func ParseAnyEmbedBucket(buf []byte) ([]int32, int, []float64, error) {
+	if len(buf) > 0 && buf[0] == PackedEmbedBucketKind {
+		return ParsePackedEmbedBucket(buf)
+	}
+	return ParseEmbedBucket(buf)
+}
+
 // WireRoundTrip encodes msg-shaped record traffic through the frame
 // codec and decodes it back over an in-memory pipe, returning the
 // frame's wire size — the dascbench hook for the codec hot path and a
 // self-test that the framing is invertible.
 func WireRoundTrip(pairs []Pair) (int, error) {
+	n, _, err := WireRoundTripOpts(pairs, false)
+	return n, err
+}
+
+// WireRoundTripOpts is WireRoundTrip with the v3 compression path
+// switchable; it additionally returns the raw (uncompressed) frame
+// size so callers can report the achieved ratio.
+func WireRoundTripOpts(pairs []Pair, compress bool) (wireSize, rawSize int, err error) {
 	var st wireStats
 	var buf writeBuffer
-	enc := &frameCodec{w: &buf, st: &st}
+	enc := &frameCodec{w: &buf, st: &st, version: WireVersionPacked}
+	enc.compress.Store(compress)
 	in := resultMsg{Seq: 1, Parts: [][]Pair{pairs}}
 	n, err := enc.writeResult(&in)
 	if err != nil {
-		return n, err
+		return n, n, err
 	}
-	dec := &frameCodec{br: bufio.NewReader(&buf), st: &st}
+	raw := n + int(st.compressSaved.Load())
+	dec := &frameCodec{br: bufio.NewReader(&buf), st: &st, version: WireVersionPacked}
 	var out resultMsg
 	if _, err := dec.readResult(&out); err != nil {
-		return n, err
+		return n, raw, err
 	}
 	if len(out.Parts) != 1 || len(out.Parts[0]) != len(pairs) {
-		return n, errors.New("mapreduce: wire round trip changed record count")
+		return n, raw, errors.New("mapreduce: wire round trip changed record count")
 	}
-	return n, nil
+	return n, raw, nil
 }
 
 // writeBuffer is a minimal in-memory io.Writer+Reader for WireRoundTrip.

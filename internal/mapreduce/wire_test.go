@@ -177,9 +177,9 @@ func TestWireMalformedFramesDoNotPanic(t *testing.T) {
 		body := make([]byte, rng.Intn(80))
 		rng.Read(body)
 		var tm taskMsg
-		_ = parseTask(body, &tm)
+		_ = parseTask(body, &tm, false)
 		var res resultMsg
-		_ = parseResult(body, &res)
+		_ = parseResult(body, &res, false)
 	}
 
 	// Truncations of a known-good body must all fail cleanly.
@@ -193,15 +193,15 @@ func TestWireMalformedFramesDoNotPanic(t *testing.T) {
 	body := full[1:]                                 // strip the kind byte
 	for cut := 0; cut < len(body); cut++ {
 		var tm taskMsg
-		if err := parseTask(body[:cut], &tm); err == nil {
+		if err := parseTask(body[:cut], &tm, false); err == nil {
 			t.Fatalf("truncation at %d/%d parsed without error", cut, len(body))
 		}
 	}
 	var tm taskMsg
-	if err := parseTask(body, &tm); err != nil {
+	if err := parseTask(body, &tm, false); err != nil {
 		t.Fatalf("full body failed: %v", err)
 	}
-	if err := parseTask(append(append([]byte(nil), body...), 0), &tm); err == nil {
+	if err := parseTask(append(append([]byte(nil), body...), 0), &tm, false); err == nil {
 		t.Fatal("trailing garbage accepted")
 	}
 }

@@ -190,13 +190,28 @@ type shardFile struct {
 
 // Reader exposes a shard directory as a random-access row matrix. All
 // read methods are safe for concurrent use (reads go through ReadAt);
-// BytesRead tallies payload bytes fetched from disk.
+// BytesRead tallies payload bytes fetched from disk, ReadOps the
+// ReadAt calls issued, and CoalescedReads how many of those calls
+// served more than one requested row (the gather-coalescing and
+// streaming-readahead paths).
 type Reader struct {
-	shards []shardFile
-	rows   int
-	cols   int
-	read   atomic.Int64
+	shards    []shardFile
+	rows      int
+	cols      int
+	read      atomic.Int64
+	ops       atomic.Int64
+	coalesced atomic.Int64
 }
+
+// coalesceBlockBytes caps the reusable gather block: adjacent requested
+// rows are fetched with one ReadAt as long as the run stays under this
+// many bytes (always at least one row).
+const coalesceBlockBytes = 1 << 20
+
+// streamBlockBytes is the readahead granule for Stream: the producer
+// goroutine fetches blocks of about this size one block ahead of the
+// consumer.
+const streamBlockBytes = 256 << 10
 
 // Open scans dir for shard-*.dshd files, validates their headers tile
 // a contiguous [0, rows) range with one column count, and returns a
@@ -287,6 +302,13 @@ func (r *Reader) Cols() int { return r.cols }
 // BytesRead returns the payload bytes read from shard files so far.
 func (r *Reader) BytesRead() int64 { return r.read.Load() }
 
+// ReadOps returns the ReadAt calls issued against shard files so far.
+func (r *Reader) ReadOps() int64 { return r.ops.Load() }
+
+// CoalescedReads returns how many ReadAt calls served more than one
+// requested row.
+func (r *Reader) CoalescedReads() int64 { return r.coalesced.Load() }
+
 // locate finds the shard covering global row i by binary search.
 func (r *Reader) locate(i int) (*shardFile, error) {
 	if i < 0 || i >= r.rows {
@@ -322,10 +344,91 @@ func (r *Reader) ReadRow(i int, dst []float64) ([]float64, error) {
 		return nil, fmt.Errorf("shard: read row %d: %w", i, err)
 	}
 	r.read.Add(stride)
+	r.ops.Add(1)
 	for j := range dst {
 		dst[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
 	}
 	return dst, nil
+}
+
+// ReadRowsInto gathers the given global rows, writing row indices[pos]
+// into the slice dst(pos) returns (which must hold at least cols
+// values). The requests are visited in sorted row order and adjacent
+// rows are coalesced into single bounded ReadAt calls through one
+// reusable block buffer, so a bucket whose rows cluster inside a shard
+// costs a handful of large sequential reads instead of one seek per
+// row. Results are identical to per-row ReadRow calls for any request
+// order, duplicates included.
+func (r *Reader) ReadRowsInto(indices []int, dst func(pos int) []float64) error {
+	if len(indices) == 0 {
+		return nil
+	}
+	stride := int64(r.cols) * 8
+	maxRows := int(coalesceBlockBytes / stride)
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	// Sort request positions by row; ties keep request order (the
+	// comparator falls back to the position, which is unique).
+	order := make([]int, len(indices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := indices[order[a]], indices[order[b]]
+		if ia != ib {
+			return ia < ib
+		}
+		return order[a] < order[b]
+	})
+	var block []byte
+	for k := 0; k < len(order); {
+		first := indices[order[k]]
+		sf, err := r.locate(first)
+		if err != nil {
+			return err
+		}
+		shardEnd := sf.startRow + sf.rows
+		// Extend the run over duplicate or adjacent rows while it fits
+		// the shard and the block budget.
+		last := first
+		j := k + 1
+		for j < len(order) {
+			idx := indices[order[j]]
+			if idx == last {
+				j++
+				continue
+			}
+			if idx != last+1 || idx >= shardEnd || idx-first+1 > maxRows {
+				break
+			}
+			last = idx
+			j++
+		}
+		n := last - first + 1
+		need := int64(n) * stride
+		if int64(cap(block)) < need {
+			block = make([]byte, need)
+		}
+		b := block[:need]
+		if _, err := sf.f.ReadAt(b, headerSize+int64(first-sf.startRow)*stride); err != nil {
+			return fmt.Errorf("shard: read rows [%d,%d]: %w", first, last, err)
+		}
+		r.read.Add(need)
+		r.ops.Add(1)
+		if j-k > 1 {
+			r.coalesced.Add(1)
+		}
+		for ; k < j; k++ {
+			pos := order[k]
+			base := (indices[pos] - first) * int(stride)
+			d := dst(pos)[:r.cols]
+			for c := range d {
+				d[c] = math.Float64frombits(binary.LittleEndian.Uint64(b[base+8*c:]))
+			}
+		}
+	}
+	return nil
 }
 
 // ReadRows gathers the given global rows into a freshly allocated
@@ -333,19 +436,20 @@ func (r *Reader) ReadRow(i int, dst []float64) ([]float64, error) {
 // bucket solves that touch a sparse subset of rows.
 func (r *Reader) ReadRows(indices []int) ([][]float64, error) {
 	out := make([][]float64, len(indices))
-	for k, i := range indices {
-		row, err := r.ReadRow(i, nil)
-		if err != nil {
-			return nil, err
-		}
-		out[k] = row
+	for k := range out {
+		out[k] = make([]float64, r.cols)
+	}
+	if err := r.ReadRowsInto(indices, func(pos int) []float64 { return out[pos] }); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Stream visits rows [start, start+count) in order, reusing one row
 // buffer across calls — the sequential scan primitive for map tasks
-// assigned a row range. fn must not retain the slice.
+// assigned a row range. A readahead goroutine fetches
+// streamBlockBytes-sized blocks double-buffered ahead of the consumer,
+// so disk latency overlaps fn. fn must not retain the slice.
 func (r *Reader) Stream(start, count int, fn func(i int, row []float64) error) error {
 	if count == 0 {
 		return nil
@@ -353,14 +457,91 @@ func (r *Reader) Stream(start, count int, fn func(i int, row []float64) error) e
 	if start < 0 || count < 0 || start+count > r.rows {
 		return fmt.Errorf("shard: range [%d,%d) out of [0,%d)", start, start+count, r.rows)
 	}
-	buf := make([]float64, r.cols)
-	for i := start; i < start+count; i++ {
-		row, err := r.ReadRow(i, buf)
-		if err != nil {
-			return err
+	stride := int64(r.cols) * 8
+	blockRows := int(streamBlockBytes / stride)
+	if blockRows < 1 {
+		blockRows = 1
+	}
+	type block struct {
+		start, n int
+		buf      []byte
+		err      error
+	}
+	// Two buffers circulate producer -> blocks -> consumer -> free, so
+	// the producer reads block k+1 while the consumer decodes block k.
+	free := make(chan []byte, 2)
+	free <- nil
+	free <- nil
+	blocks := make(chan block, 1)
+	stop := make(chan struct{})
+	go func() {
+		defer close(blocks)
+		for i, rem := start, count; rem > 0; {
+			sf, err := r.locate(i)
+			if err != nil {
+				select {
+				case blocks <- block{err: err}:
+				case <-stop:
+				}
+				return
+			}
+			n := sf.startRow + sf.rows - i
+			if n > rem {
+				n = rem
+			}
+			if n > blockRows {
+				n = blockRows
+			}
+			var buf []byte
+			select {
+			case buf = <-free:
+			case <-stop:
+				return
+			}
+			need := int(int64(n) * stride)
+			if cap(buf) < need {
+				buf = make([]byte, need)
+			}
+			buf = buf[:need]
+			if _, err := sf.f.ReadAt(buf, headerSize+int64(i-sf.startRow)*stride); err != nil {
+				select {
+				case blocks <- block{err: fmt.Errorf("shard: stream rows [%d,%d): %w", i, i+n, err)}:
+				case <-stop:
+				}
+				return
+			}
+			r.read.Add(int64(need))
+			r.ops.Add(1)
+			if n > 1 {
+				r.coalesced.Add(1)
+			}
+			select {
+			case blocks <- block{start: i, n: n, buf: buf}:
+			case <-stop:
+				return
+			}
+			i += n
+			rem -= n
 		}
-		if err := fn(i, row); err != nil {
-			return err
+	}()
+	defer close(stop) // unblocks the producer on any early return
+	row := make([]float64, r.cols)
+	for b := range blocks {
+		if b.err != nil {
+			return b.err
+		}
+		for k := 0; k < b.n; k++ {
+			base := k * int(stride)
+			for c := range row {
+				row[c] = math.Float64frombits(binary.LittleEndian.Uint64(b.buf[base+8*c:]))
+			}
+			if err := fn(b.start+k, row); err != nil {
+				return err
+			}
+		}
+		select {
+		case free <- b.buf:
+		default:
 		}
 	}
 	return nil
